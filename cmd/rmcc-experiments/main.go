@@ -1,0 +1,81 @@
+// Command rmcc-experiments regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	rmcc-experiments -quick                      # all figures, scaled down
+//	rmcc-experiments -figures figure13,figure14  # just the headline plots
+//	rmcc-experiments -workloads canneal,mcf      # subset of benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rmcc"
+)
+
+func main() {
+	var (
+		figures   = flag.String("figures", "all", "comma-separated figure names, or 'all'")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default all)")
+		quick     = flag.Bool("quick", false, "scaled-down runs (small workloads, short windows)")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		listFlag  = flag.Bool("list", false, "list figures and exit")
+	)
+	flag.Parse()
+
+	all := rmcc.Experiments()
+	if *listFlag {
+		for _, e := range all {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+
+	opts := rmcc.DefaultExperimentOptions()
+	if *quick {
+		opts = rmcc.QuickExperimentOptions()
+	}
+	opts.Seed = *seed
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	want := map[string]bool{}
+	if *figures != "all" {
+		for _, f := range strings.Split(*figures, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+		for f := range want {
+			if !known(all, f) {
+				fmt.Fprintf(os.Stderr, "rmcc-experiments: unknown figure %q (use -list)\n", f)
+				os.Exit(2)
+			}
+		}
+	}
+
+	for _, e := range all {
+		if *figures != "all" && !want[e.Name] {
+			continue
+		}
+		start := time.Now()
+		table := e.Run(opts)
+		fmt.Println(table)
+		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.Name, time.Since(start).Seconds())
+	}
+}
+
+func known(all []struct {
+	Name string
+	Run  func(rmcc.ExperimentOptions) *rmcc.ResultTable
+}, name string) bool {
+	for _, e := range all {
+		if e.Name == name {
+			return true
+		}
+	}
+	return false
+}

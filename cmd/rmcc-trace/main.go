@@ -1,0 +1,152 @@
+// Command rmcc-trace records workload access streams to compact trace
+// files and inspects or replays them through the lifetime simulator —
+// the Pin-trace role in the paper's methodology.
+//
+// Examples:
+//
+//	rmcc-trace -record -workload canneal -n 1000000 -o canneal.rmtr
+//	rmcc-trace -info canneal.rmtr
+//	rmcc-trace -replay canneal.rmtr -mode rmcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rmcc"
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+	"rmcc/internal/sim"
+	"rmcc/internal/trace"
+)
+
+func main() {
+	var (
+		record  = flag.Bool("record", false, "record a workload trace")
+		info    = flag.String("info", "", "print a trace file's summary")
+		replay  = flag.String("replay", "", "replay a trace through the lifetime simulator")
+		name    = flag.String("workload", "canneal", "workload to record")
+		sizeStr = flag.String("size", "small", "workload scale: test|small|full")
+		n       = flag.Uint64("n", 1_000_000, "accesses to record / replay")
+		seed    = flag.Uint64("seed", 1, "record seed")
+		out     = flag.String("o", "trace.rmtr", "output file for -record")
+		modeStr = flag.String("mode", "rmcc", "replay protection: nonsecure|baseline|rmcc")
+	)
+	flag.Parse()
+
+	switch {
+	case *record:
+		size := parseSize(*sizeStr)
+		w, ok := rmcc.WorkloadByName(size, *seed, *name)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *name))
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		count, err := trace.Record(w, *seed, *n, f)
+		if err != nil {
+			fatal(err)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("recorded %d accesses of %s to %s (%.1f MB, %.2f B/access)\n",
+			count, w.Name(), *out, float64(st.Size())/1e6, float64(st.Size())/float64(count))
+
+	case *info != "":
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		summarize(f)
+
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := trace.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		mode := parseMode(*modeStr)
+		cfg := sim.DefaultLifetimeConfig(engine.DefaultConfig(mode, counter.Morphable, 0))
+		cfg.MaxAccesses = *n
+		res := sim.RunLifetime(rep, cfg)
+		fmt.Printf("replayed %d accesses of %s under %s\n", res.Accesses, rep.Name(), mode)
+		fmt.Printf("ctr miss rate      %.1f%%\n", 100*res.Engine.CtrMissRate())
+		fmt.Printf("memo hit (misses)  %.1f%%\n", 100*res.Engine.MemoHitRateOnMisses())
+		fmt.Printf("accelerated        %.1f%%\n", 100*res.Engine.AcceleratedRate())
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func summarize(f *os.File) {
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	var count, writes uint64
+	var minAddr, maxAddr uint64
+	minAddr = ^uint64(0)
+	regions := map[uint64]struct{}{}
+	for {
+		a, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		count++
+		if a.Write {
+			writes++
+		}
+		if a.Addr < minAddr {
+			minAddr = a.Addr
+		}
+		if a.Addr > maxAddr {
+			maxAddr = a.Addr
+		}
+		regions[a.Addr>>21] = struct{}{}
+	}
+	fmt.Printf("workload   %s\n", r.Name())
+	fmt.Printf("accesses   %d (%.1f%% writes)\n", count, 100*float64(writes)/float64(count))
+	fmt.Printf("addr range [%#x, %#x]\n", minAddr, maxAddr)
+	fmt.Printf("2MB pages  %d (~%d MB touched)\n", len(regions), len(regions)*2)
+}
+
+func parseSize(s string) rmcc.Size {
+	switch s {
+	case "test":
+		return rmcc.SizeTest
+	case "full":
+		return rmcc.SizeFull
+	default:
+		return rmcc.SizeSmall
+	}
+}
+
+func parseMode(s string) engine.Mode {
+	switch s {
+	case "nonsecure":
+		return engine.NonSecure
+	case "baseline":
+		return engine.Baseline
+	default:
+		return engine.RMCC
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmcc-trace:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,156 @@
+// Command rmccsim runs one secure-memory simulation: a workload, a counter
+// scheme, a protection mode, and a driver (lifetime or detailed), printing
+// the result summary.
+//
+// Examples:
+//
+//	rmccsim -workload canneal -mode rmcc -driver lifetime -accesses 5000000
+//	rmccsim -workload pageRank -mode baseline -scheme sc64 -driver detailed
+//	rmccsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rmcc"
+)
+
+func main() {
+	var (
+		name      = flag.String("workload", "canneal", "workload name (see -list)")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		sizeStr   = flag.String("size", "small", "workload scale: test|small|full")
+		modeStr   = flag.String("mode", "rmcc", "protection: nonsecure|baseline|rmcc")
+		schemeStr = flag.String("scheme", "morphable", "counters: sgx|sc64|morphable")
+		driver    = flag.String("driver", "lifetime", "simulation driver: lifetime|detailed")
+		accesses  = flag.Uint64("accesses", 5_000_000, "lifetime accesses / detailed window")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		aesNS     = flag.Int64("aes", 15, "AES latency in ns (detailed driver)")
+		cores     = flag.Int("cores", 1, "cores (detailed driver; graph kernels shard)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(rmcc.WorkloadNames(), "\n"))
+		return
+	}
+
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	scheme, err := parseScheme(*schemeStr)
+	if err != nil {
+		fatal(err)
+	}
+	w, ok := rmcc.WorkloadByName(size, *seed, *name)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q (use -list)", *name))
+	}
+
+	engCfg := rmcc.DefaultEngineConfig(mode, scheme)
+	switch *driver {
+	case "lifetime":
+		cfg := rmcc.DefaultLifetimeConfig(engCfg)
+		cfg.MaxAccesses = *accesses
+		cfg.Seed = *seed
+		res := rmcc.RunLifetime(w, cfg)
+		printLifetime(res)
+	case "detailed":
+		cfg := rmcc.DefaultDetailedConfig(engCfg)
+		cfg.Seed = *seed
+		cfg.Cores = *cores
+		cfg.AESLat = *aesNS * 1000
+		cfg.MeasureAccesses = *accesses
+		res := rmcc.RunDetailed(w, cfg)
+		printDetailed(res)
+	default:
+		fatal(fmt.Errorf("unknown driver %q", *driver))
+	}
+}
+
+func printLifetime(res rmcc.LifetimeResult) {
+	e := res.Engine
+	fmt.Printf("workload            %s\n", res.Workload)
+	fmt.Printf("accesses            %d\n", res.Accesses)
+	fmt.Printf("LLC miss reads      %d\n", res.LLCMissReads)
+	fmt.Printf("LLC miss writes     %d\n", res.LLCMissWrites)
+	fmt.Printf("ctr miss rate       %.1f%%\n", 100*e.CtrMissRate())
+	fmt.Printf("memo hit (misses)   %.1f%%\n", 100*e.MemoHitRateOnMisses())
+	fmt.Printf("memo hit (all)      %.1f%%\n", 100*e.MemoHitRateAll())
+	fmt.Printf("accelerated misses  %.1f%%\n", 100*e.AcceleratedRate())
+	fmt.Printf("coverage/value      %.0f blocks\n", res.CoveragePerValue)
+	fmt.Printf("total traffic       %d blocks\n", e.TotalTraffic())
+	fmt.Printf("overhead (L0/L1)    %d / %d blocks\n", e.OverheadL0Blocks, e.OverheadL1Blocks)
+	fmt.Printf("baseline overflows  %d\n", e.BaselineOverflows)
+	fmt.Printf("max counter         %d\n", res.MaxCounter)
+	fmt.Printf("TLB miss/LLC miss   4KB %.2f, 2MB %.3f\n",
+		float64(res.TLB4KMisses)/nz(res.LLCMissReads), float64(res.TLB2MMisses)/nz(res.LLCMissReads))
+}
+
+func printDetailed(res rmcc.DetailedResult) {
+	fmt.Printf("workload            %s\n", res.Workload)
+	fmt.Printf("instructions        %d\n", res.Instructions)
+	fmt.Printf("IPC                 %.3f\n", res.IPC)
+	fmt.Printf("window              %.3f ms\n", float64(res.WindowTime)/1e9)
+	fmt.Printf("LLC misses          %d\n", res.LLCMisses)
+	fmt.Printf("avg miss latency    %.1f ns\n", res.AvgMissLatencyNS)
+	fmt.Printf("DRAM utilization    %.1f%%\n", 100*res.DRAM.Utilization(res.WindowTime))
+	fmt.Printf("ctr miss rate       %.1f%%\n", 100*res.Engine.CtrMissRate())
+	fmt.Printf("memo hit (misses)   %.1f%%\n", 100*res.Engine.MemoHitRateOnMisses())
+}
+
+func nz(v uint64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return float64(v)
+}
+
+func parseSize(s string) (rmcc.Size, error) {
+	switch s {
+	case "test":
+		return rmcc.SizeTest, nil
+	case "small":
+		return rmcc.SizeSmall, nil
+	case "full":
+		return rmcc.SizeFull, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func parseMode(s string) (rmcc.Mode, error) {
+	switch s {
+	case "nonsecure":
+		return rmcc.ModeNonSecure, nil
+	case "baseline":
+		return rmcc.ModeBaseline, nil
+	case "rmcc":
+		return rmcc.ModeRMCC, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func parseScheme(s string) (rmcc.Scheme, error) {
+	switch s {
+	case "sgx":
+		return rmcc.SchemeSGX, nil
+	case "sc64":
+		return rmcc.SchemeSC64, nil
+	case "morphable":
+		return rmcc.SchemeMorphable, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmccsim:", err)
+	os.Exit(2)
+}

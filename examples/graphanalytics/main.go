@@ -1,0 +1,58 @@
+// Graph analytics under secure memory: the paper's motivating scenario.
+// Runs two GraphBig-style kernels (BFS and pageRank) through the lifetime
+// simulator under Morphable Counters with and without RMCC, and prints the
+// counter-miss and memoization picture side by side.
+package main
+
+import (
+	"fmt"
+
+	"rmcc"
+)
+
+func main() {
+	const seed = 42
+	const accesses = 2_000_000
+
+	fmt.Println("irregular graph analytics vs the counter cache")
+	fmt.Println("(workload footprints far exceed the 32KB counter cache's reach)")
+	fmt.Println()
+	fmt.Printf("%-12s %14s %16s %16s %14s\n",
+		"kernel", "ctr miss rate", "memo hit (miss)", "accelerated", "cover/value")
+
+	for _, name := range []string{"BFS", "pageRank", "connectedComp", "canneal"} {
+		// Baseline Morphable: how often do counter misses stall AES?
+		wBase, ok := rmcc.WorkloadByName(rmcc.SizeSmall, seed, name)
+		if !ok {
+			panic("unknown workload " + name)
+		}
+		baseCfg := rmcc.DefaultLifetimeConfig(
+			rmcc.DefaultEngineConfig(rmcc.ModeBaseline, rmcc.SchemeMorphable))
+		baseCfg.MaxAccesses = accesses
+		base := rmcc.RunLifetime(wBase, baseCfg)
+
+		// RMCC: same stream, memoization on.
+		wRMCC, _ := rmcc.WorkloadByName(rmcc.SizeSmall, seed, name)
+		rmCfg := rmcc.DefaultLifetimeConfig(
+			rmcc.DefaultEngineConfig(rmcc.ModeRMCC, rmcc.SchemeMorphable))
+		rmCfg.MaxAccesses = accesses
+		// Scaled epochs so the adaptive machinery cycles in a short demo.
+		rmCfg.Engine.L0Table.EpochAccesses = 100_000
+		rmCfg.Engine.L1Table.EpochAccesses = 100_000
+		rmCfg.Engine.L0Table.OverMaxThreshold = 512
+		rmCfg.Engine.L1Table.OverMaxThreshold = 512
+		rm := rmcc.RunLifetime(wRMCC, rmCfg)
+
+		fmt.Printf("%-12s %13.1f%% %15.1f%% %15.1f%% %14.0f\n",
+			name,
+			100*base.Engine.CtrMissRate(),
+			100*rm.Engine.MemoHitRateOnMisses(),
+			100*rm.Engine.AcceleratedRate(),
+			rm.CoveragePerValue)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the table: a high counter-miss rate exposes the 15ns AES on")
+	fmt.Println("every miss; RMCC's memoization accelerates the covered fraction, and")
+	fmt.Println("each memoized counter value covers thousands of blocks (Figure 15).")
+}

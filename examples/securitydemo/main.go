@@ -1,0 +1,63 @@
+// Security demo: exercises the integrity machinery and the §IV-D analysis
+// of the RMCC OTP construction — tamper detection, replay detection, and
+// the NIST-randomness comparison between RMCC OTPs and raw AES output.
+package main
+
+import (
+	"fmt"
+
+	"rmcc"
+	"rmcc/internal/crypto/otp"
+	"rmcc/internal/crypto/randtest"
+	"rmcc/internal/rng"
+)
+
+func main() {
+	fmt.Println("== 1. tamper detection ==")
+	mc := rmcc.NewController(rmcc.ModeRMCC, rmcc.SchemeMorphable, 16<<20)
+	mc.Read(0x4000) // installs contents
+	victim := mc.Store().DataBlockIndex(0x4000)
+	mc.TamperCiphertext(victim)
+	mc.Read(0x4000)
+	fmt.Printf("flipped bits in DRAM ciphertext: integrity failures = %d (want > 0)\n",
+		mc.Stats().IntegrityFailures)
+
+	fmt.Println("\n== 2. replay detection ==")
+	mc2 := rmcc.NewController(rmcc.ModeRMCC, rmcc.SchemeMorphable, 16<<20)
+	mc2.Read(0x8000)
+	blk := mc2.Store().DataBlockIndex(0x8000)
+	oldCT, oldMAC := mc2.SnapshotCiphertext(blk)
+	mc2.Write(0x8000) // counter advances; fresh ciphertext
+	mc2.ReplayOldCiphertext(blk, oldCT, oldMAC)
+	mc2.Read(0x8000)
+	fmt.Printf("replayed stale (ciphertext, MAC): integrity failures = %d (want > 0)\n",
+		mc2.Stats().IntegrityFailures)
+
+	fmt.Println("\n== 3. OTP randomness (paper §IV-D1) ==")
+	// RMCC's OTP is a truncated carry-less product of two AES outputs;
+	// the paper validates that it passes NIST randomness tests at the same
+	// rate as the AES streams themselves.
+	unit := otp.MustNewUnit(otp.DeriveKeys([16]byte{0x42}, 16))
+	r := rng.New(1)
+	const samples = 4096
+	otpW := make([]uint64, 0, 2*samples)
+	aesW := make([]uint64, 0, 2*samples)
+	for i := 0; i < samples; i++ {
+		cr := unit.CounterOnly(r.Uint64())
+		ar := unit.AddressOnlyEnc(r.Uint64()&^63, 0)
+		o := otp.Combine(cr.Enc, ar)
+		otpW = append(otpW, o.Hi, o.Lo)
+		aesW = append(aesW, cr.Enc.Hi, cr.Enc.Lo)
+	}
+	fmt.Println("RMCC OTP stream:")
+	for _, res := range randtest.Battery(randtest.FromUint64s(otpW)) {
+		fmt.Println("  ", res)
+	}
+	fmt.Println("raw counter-only AES stream:")
+	for _, res := range randtest.Battery(randtest.FromUint64s(aesW)) {
+		fmt.Println("  ", res)
+	}
+	fmt.Printf("pass rates: OTP %.0f%%, AES %.0f%%\n",
+		100*randtest.PassRate(randtest.FromUint64s(otpW)),
+		100*randtest.PassRate(randtest.FromUint64s(aesW)))
+}

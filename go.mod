@@ -1,0 +1,3 @@
+module rmcc
+
+go 1.22

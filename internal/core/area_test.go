@@ -1,0 +1,33 @@
+package core
+
+import "testing"
+
+// TestAreaMatchesPaper checks the §IV-E arithmetic: 128 entries need a
+// 4 KB data array, ~1 KB of tag/frequency counters, and the multiplier
+// adds a 4 KB SRAM equivalent.
+func TestAreaMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.DataArrayBytes(); got != 4<<10 {
+		t.Fatalf("data array = %d B, want 4096 (paper §IV-E)", got)
+	}
+	tags := c.TagArrayBytes()
+	if tags < 768 || tags > 1280 {
+		t.Fatalf("tag array = %d B, want ~1 KB", tags)
+	}
+	total := c.AreaBytes()
+	if total < 8<<10 || total > 10<<10 {
+		t.Fatalf("total area = %d B, want ~9 KB", total)
+	}
+	x, inv := CarrylessMultiplierGateDepth()
+	if x != 7 || inv != 3 {
+		t.Fatalf("gate depth = (%d,%d), want (7,3)", x, inv)
+	}
+}
+
+func TestAreaScalesWithEntries(t *testing.T) {
+	c := DefaultConfig()
+	c.Groups = 32 // 256 entries
+	if got := c.DataArrayBytes(); got != 8<<10 {
+		t.Fatalf("data array = %d B for 256 entries", got)
+	}
+}

@@ -1,0 +1,281 @@
+// Package aes implements the Advanced Encryption Standard (FIPS-197) from
+// scratch for AES-128 and AES-256.
+//
+// The secure-memory engine uses AES in counter mode to derive one-time pads
+// (OTPs), so only the forward (encryption) transform sits on the simulated
+// critical path; decryption is provided for completeness and for tests.
+//
+// This is a reference implementation: clarity over speed, no table
+// precomputation beyond the S-box, and no attempt at constant-time execution.
+// The simulator models AES latency architecturally (15 ns for AES-128, 22 ns
+// for AES-256 per the paper's 7 nm synthesis numbers); the Go-level cost of
+// this code is irrelevant to simulated time.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes. AES has a fixed 128-bit block
+// regardless of key size.
+const BlockSize = 16
+
+// Rounds returns the number of AES rounds for a key of the given byte length
+// (10 for AES-128, 14 for AES-256).
+func Rounds(keyLen int) int {
+	switch keyLen {
+	case 16:
+		return 10
+	case 32:
+		return 14
+	default:
+		return 0
+	}
+}
+
+// Cipher is an AES block cipher with an expanded key schedule.
+type Cipher struct {
+	rounds int
+	enc    [][4]uint32 // round keys, column-major words
+}
+
+// sbox is the AES substitution box.
+var sbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+// invSbox is the inverse S-box, derived from sbox at init time.
+var invSbox [256]byte
+
+func init() {
+	for i, v := range sbox {
+		invSbox[v] = byte(i)
+	}
+}
+
+// New creates an AES cipher from a 16-byte (AES-128) or 32-byte (AES-256)
+// key.
+func New(key []byte) (*Cipher, error) {
+	rounds := Rounds(len(key))
+	if rounds == 0 {
+		return nil, fmt.Errorf("aes: invalid key size %d (want 16 or 32)", len(key))
+	}
+	c := &Cipher{rounds: rounds}
+	c.expandKey(key)
+	return c, nil
+}
+
+// MustNew is New but panics on error, for use with known-good key material.
+func MustNew(key []byte) *Cipher {
+	c, err := New(key)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// BlockSize returns the AES block size (16), satisfying the conventional
+// block-cipher interface shape.
+func (c *Cipher) BlockSize() int { return BlockSize }
+
+// Rounds returns the number of rounds this key schedule uses.
+func (c *Cipher) Rounds() int { return c.rounds }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+// expandKey implements the FIPS-197 key schedule.
+func (c *Cipher) expandKey(key []byte) {
+	nk := len(key) / 4
+	total := 4 * (c.rounds + 1)
+	w := make([]uint32, total)
+	for i := 0; i < nk; i++ {
+		w[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 |
+			uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1)
+	for i := nk; i < total; i++ {
+		t := w[i-1]
+		switch {
+		case i%nk == 0:
+			t = subWord(rotWord(t)) ^ rcon<<24
+			rcon = xtimeByte(byte(rcon))
+		case nk > 6 && i%nk == 4:
+			t = subWord(t)
+		}
+		w[i] = w[i-nk] ^ t
+	}
+	c.enc = make([][4]uint32, c.rounds+1)
+	for r := 0; r <= c.rounds; r++ {
+		copy(c.enc[r][:], w[4*r:4*r+4])
+	}
+}
+
+// xtimeByte multiplies a byte by x in GF(2^8) with the AES polynomial.
+func xtimeByte(b byte) uint32 {
+	v := uint32(b) << 1
+	if b&0x80 != 0 {
+		v ^= 0x11b
+	}
+	return v & 0xff
+}
+
+func mulGF8(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// state is the AES state as 16 bytes in column-major order (FIPS-197 layout:
+// byte i goes to row i%4, column i/4).
+type state [16]byte
+
+func (s *state) addRoundKey(rk *[4]uint32) {
+	for col := 0; col < 4; col++ {
+		w := rk[col]
+		s[4*col+0] ^= byte(w >> 24)
+		s[4*col+1] ^= byte(w >> 16)
+		s[4*col+2] ^= byte(w >> 8)
+		s[4*col+3] ^= byte(w)
+	}
+}
+
+func (s *state) subBytes() {
+	for i := range s {
+		s[i] = sbox[s[i]]
+	}
+}
+
+func (s *state) invSubBytes() {
+	for i := range s {
+		s[i] = invSbox[s[i]]
+	}
+}
+
+// shiftRows rotates row r left by r positions. With column-major layout, row
+// r is bytes {r, r+4, r+8, r+12}.
+func (s *state) shiftRows() {
+	s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
+	s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
+	s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+}
+
+func (s *state) invShiftRows() {
+	s[5], s[9], s[13], s[1] = s[1], s[5], s[9], s[13]
+	s[10], s[14], s[2], s[6] = s[2], s[6], s[10], s[14]
+	s[15], s[3], s[7], s[11] = s[3], s[7], s[11], s[15]
+}
+
+func (s *state) mixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c+0] = mulGF8(a0, 2) ^ mulGF8(a1, 3) ^ a2 ^ a3
+		s[4*c+1] = a0 ^ mulGF8(a1, 2) ^ mulGF8(a2, 3) ^ a3
+		s[4*c+2] = a0 ^ a1 ^ mulGF8(a2, 2) ^ mulGF8(a3, 3)
+		s[4*c+3] = mulGF8(a0, 3) ^ a1 ^ a2 ^ mulGF8(a3, 2)
+	}
+}
+
+func (s *state) invMixColumns() {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[4*c], s[4*c+1], s[4*c+2], s[4*c+3]
+		s[4*c+0] = mulGF8(a0, 14) ^ mulGF8(a1, 11) ^ mulGF8(a2, 13) ^ mulGF8(a3, 9)
+		s[4*c+1] = mulGF8(a0, 9) ^ mulGF8(a1, 14) ^ mulGF8(a2, 11) ^ mulGF8(a3, 13)
+		s[4*c+2] = mulGF8(a0, 13) ^ mulGF8(a1, 9) ^ mulGF8(a2, 14) ^ mulGF8(a3, 11)
+		s[4*c+3] = mulGF8(a0, 11) ^ mulGF8(a1, 13) ^ mulGF8(a2, 9) ^ mulGF8(a3, 14)
+	}
+}
+
+// Encrypt encrypts exactly one 16-byte block from src into dst.
+// dst and src may overlap. It panics if either is shorter than BlockSize.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: input not full block")
+	}
+	var s state
+	copy(s[:], src[:BlockSize])
+	s.addRoundKey(&c.enc[0])
+	for r := 1; r < c.rounds; r++ {
+		s.subBytes()
+		s.shiftRows()
+		s.mixColumns()
+		s.addRoundKey(&c.enc[r])
+	}
+	s.subBytes()
+	s.shiftRows()
+	s.addRoundKey(&c.enc[c.rounds])
+	copy(dst[:BlockSize], s[:])
+}
+
+// Decrypt decrypts exactly one 16-byte block from src into dst.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: input not full block")
+	}
+	var s state
+	copy(s[:], src[:BlockSize])
+	s.addRoundKey(&c.enc[c.rounds])
+	for r := c.rounds - 1; r >= 1; r-- {
+		s.invShiftRows()
+		s.invSubBytes()
+		s.addRoundKey(&c.enc[r])
+		s.invMixColumns()
+	}
+	s.invShiftRows()
+	s.invSubBytes()
+	s.addRoundKey(&c.enc[0])
+	copy(dst[:BlockSize], s[:])
+}
+
+// EncryptWords encrypts a 128-bit input given as two 64-bit halves and
+// returns the result as two 64-bit halves (big-endian packing). This is the
+// form the OTP unit uses: the secure-memory data path works on 64-bit words,
+// not byte slices.
+func (c *Cipher) EncryptWords(hi, lo uint64) (outHi, outLo uint64) {
+	var in, out [BlockSize]byte
+	putU64(in[0:8], hi)
+	putU64(in[8:16], lo)
+	c.Encrypt(out[:], in[:])
+	return getU64(out[0:8]), getU64(out[8:16])
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

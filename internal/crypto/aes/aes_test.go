@@ -1,0 +1,218 @@
+package aes
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"rmcc/internal/rng"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// TestFIPS197AES128 checks the FIPS-197 Appendix C.1 vector.
+func TestFIPS197AES128(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := mustHex(t, "00112233445566778899aabbccddeeff")
+	want := mustHex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	c := MustNew(key)
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AES-128 encrypt = %x, want %x", got, want)
+	}
+	back := make([]byte, 16)
+	c.Decrypt(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("AES-128 decrypt = %x, want %x", back, pt)
+	}
+}
+
+// TestFIPS197AES256 checks the FIPS-197 Appendix C.3 vector.
+func TestFIPS197AES256(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+	pt := mustHex(t, "00112233445566778899aabbccddeeff")
+	want := mustHex(t, "8ea2b7ca516745bfeafc49904b496089")
+	c := MustNew(key)
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("AES-256 encrypt = %x, want %x", got, want)
+	}
+	back := make([]byte, 16)
+	c.Decrypt(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("AES-256 decrypt = %x, want %x", back, pt)
+	}
+}
+
+// TestNISTSP800_38A_AES128ECB checks the first block of the SP 800-38A
+// ECB-AES128 example vectors (a second, independent source of truth).
+func TestNISTSP800_38A_AES128ECB(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := mustHex(t, "6bc1bee22e409f96e93d7e117393172a")
+	want := mustHex(t, "3ad77bb40d7a3660a89ecaf32466ef97")
+	c := MustNew(key)
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encrypt = %x, want %x", got, want)
+	}
+}
+
+func TestRoundCounts(t *testing.T) {
+	if c := MustNew(make([]byte, 16)); c.Rounds() != 10 {
+		t.Fatalf("AES-128 rounds = %d, want 10", c.Rounds())
+	}
+	if c := MustNew(make([]byte, 32)); c.Rounds() != 14 {
+		t.Fatalf("AES-256 rounds = %d, want 14", c.Rounds())
+	}
+}
+
+func TestInvalidKeySizes(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 24, 31, 33} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Fatalf("key size %d unexpectedly accepted", n)
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for _, keyLen := range []int{16, 32} {
+		key := make([]byte, keyLen)
+		for i := range key {
+			key[i] = byte(r.Uint64())
+		}
+		c := MustNew(key)
+		f := func(hi, lo uint64) bool {
+			var pt, ct, back [16]byte
+			putU64(pt[0:8], hi)
+			putU64(pt[8:16], lo)
+			c.Encrypt(ct[:], pt[:])
+			c.Decrypt(back[:], ct[:])
+			return back == pt && ct != pt
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("keyLen %d: %v", keyLen, err)
+		}
+	}
+}
+
+func TestEncryptWordsMatchesBytes(t *testing.T) {
+	c := MustNew(mustHex(t, "000102030405060708090a0b0c0d0e0f"))
+	f := func(hi, lo uint64) bool {
+		var in, out [16]byte
+		putU64(in[0:8], hi)
+		putU64(in[8:16], lo)
+		c.Encrypt(out[:], in[:])
+		oh, ol := c.EncryptWords(hi, lo)
+		return oh == getU64(out[0:8]) && ol == getU64(out[8:16])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentKeysDifferentCiphertext(t *testing.T) {
+	c1 := MustNew(mustHex(t, "00000000000000000000000000000000"))
+	c2 := MustNew(mustHex(t, "00000000000000000000000000000001"))
+	pt := make([]byte, 16)
+	a := make([]byte, 16)
+	b := make([]byte, 16)
+	c1.Encrypt(a, pt)
+	c2.Encrypt(b, pt)
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct keys produced identical ciphertext")
+	}
+}
+
+// TestAvalanche flips one plaintext bit and requires roughly half of the
+// ciphertext bits to change, a basic diffusion sanity check.
+func TestAvalanche(t *testing.T) {
+	c := MustNew(mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c"))
+	base := make([]byte, 16)
+	flipped := make([]byte, 16)
+	copy(flipped, base)
+	flipped[0] ^= 0x01
+	a := make([]byte, 16)
+	b := make([]byte, 16)
+	c.Encrypt(a, base)
+	c.Encrypt(b, flipped)
+	diff := 0
+	for i := range a {
+		x := a[i] ^ b[i]
+		for x != 0 {
+			diff++
+			x &= x - 1
+		}
+	}
+	if diff < 40 || diff > 88 {
+		t.Fatalf("avalanche: %d/128 bits changed, expected ~64", diff)
+	}
+}
+
+func TestShiftRowsInverse(t *testing.T) {
+	f := func(in [16]byte) bool {
+		s := state(in)
+		s.shiftRows()
+		s.invShiftRows()
+		return s == state(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixColumnsInverse(t *testing.T) {
+	f := func(in [16]byte) bool {
+		s := state(in)
+		s.mixColumns()
+		s.invMixColumns()
+		return s == state(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSboxIsPermutation(t *testing.T) {
+	var seen [256]bool
+	for _, v := range sbox {
+		if seen[v] {
+			t.Fatalf("sbox value %#x repeated", v)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 256; i++ {
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatalf("invSbox broken at %d", i)
+		}
+	}
+}
+
+func BenchmarkEncryptAES128(b *testing.B) {
+	c := MustNew(make([]byte, 16))
+	var buf [16]byte
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf[:], buf[:])
+	}
+}
+
+func BenchmarkEncryptAES256(b *testing.B) {
+	c := MustNew(make([]byte, 32))
+	var buf [16]byte
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf[:], buf[:])
+	}
+}

@@ -1,0 +1,37 @@
+package aes
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks Decrypt(Encrypt(x)) == x and ciphertext != plaintext
+// for arbitrary keys and blocks.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(make([]byte, 16), make([]byte, 16))
+	f.Add(bytes.Repeat([]byte{0xff}, 32), bytes.Repeat([]byte{0xa5}, 16))
+	f.Add([]byte("0123456789abcdef"), []byte("fedcba9876543210"))
+	f.Fuzz(func(t *testing.T, key, block []byte) {
+		if len(key) != 16 && len(key) != 32 {
+			if _, err := New(key); err == nil {
+				t.Fatalf("invalid key length %d accepted", len(key))
+			}
+			return
+		}
+		if len(block) < 16 {
+			return
+		}
+		block = block[:16]
+		c := MustNew(key)
+		ct := make([]byte, 16)
+		pt := make([]byte, 16)
+		c.Encrypt(ct, block)
+		c.Decrypt(pt, ct)
+		if !bytes.Equal(pt, block) {
+			t.Fatalf("round trip failed: %x -> %x -> %x", block, ct, pt)
+		}
+		if bytes.Equal(ct, block) {
+			t.Fatalf("ciphertext equals plaintext for key %x", key)
+		}
+	})
+}

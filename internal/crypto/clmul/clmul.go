@@ -1,0 +1,95 @@
+// Package clmul implements carry-less (polynomial, GF(2)[x]) multiplication
+// of 128-bit operands and the truncated variant RMCC uses to combine a
+// counter-only AES result with an address-only AES result into a one-time
+// pad (paper Figure 11).
+//
+// A full 128×128 carry-less product is 255 bits; RMCC keeps the middle 128
+// bits. The truncation discards 127 bits of information, which is what makes
+// the OTP construction non-invertible (paper §IV-D1): from a known OTP an
+// attacker cannot factor back the two AES operands.
+package clmul
+
+import "math/bits"
+
+// Word128 is a 128-bit value as two 64-bit limbs, Hi holding bits 127..64.
+type Word128 struct {
+	Hi, Lo uint64
+}
+
+// Xor returns the bitwise XOR of w and o.
+func (w Word128) Xor(o Word128) Word128 {
+	return Word128{Hi: w.Hi ^ o.Hi, Lo: w.Lo ^ o.Lo}
+}
+
+// IsZero reports whether all 128 bits are zero.
+func (w Word128) IsZero() bool { return w.Hi == 0 && w.Lo == 0 }
+
+// Word256 is a 256-bit value as four 64-bit limbs, limb 3 most significant.
+// The top bit (bit 255) is always zero for a 128×128 carry-less product.
+type Word256 struct {
+	W3, W2, W1, W0 uint64
+}
+
+// mul64 computes the 128-bit carry-less product of two 64-bit polynomials.
+func mul64(a, b uint64) (hi, lo uint64) {
+	// Schoolbook over bits of b, 4 bits at a time would be faster, but the
+	// bit-serial form is clear and this code is off the simulated clock.
+	for i := 0; i < 64; i++ {
+		if b&(1<<uint(i)) != 0 {
+			lo ^= a << uint(i)
+			if i != 0 {
+				hi ^= a >> uint(64-i)
+			}
+		}
+	}
+	return hi, lo
+}
+
+// Mul returns the full 255-bit carry-less product of a and b.
+//
+// Karatsuba over GF(2): with a = aH·x^64 + aL and b = bH·x^64 + bL,
+// a·b = aH·bH·x^128 + ((aH+aL)(bH+bL) + aH·bH + aL·bL)·x^64 + aL·bL.
+func Mul(a, b Word128) Word256 {
+	hh1, hh0 := mul64(a.Hi, b.Hi)
+	ll1, ll0 := mul64(a.Lo, b.Lo)
+	mh, ml := mul64(a.Hi^a.Lo, b.Hi^b.Lo)
+	mh ^= hh1 ^ ll1
+	ml ^= hh0 ^ ll0
+	return Word256{
+		W3: hh1,
+		W2: hh0 ^ mh,
+		W1: ll1 ^ ml,
+		W0: ll0,
+	}
+}
+
+// TruncMiddle returns bits 191..64 of the 256-bit product, i.e. the middle
+// 128 bits RMCC keeps as the OTP.
+func TruncMiddle(p Word256) Word128 {
+	return Word128{Hi: p.W2, Lo: p.W1}
+}
+
+// MulTrunc is the RMCC OTP combine: the truncated-middle carry-less product
+// of the counter-only and address-only AES results. The hardware analog is a
+// truncated 128×128→128 carry-less multiplier (paper §IV-E: ~12K XOR gates,
+// 7 XOR + 3 inverter gate depth, ~1 ns).
+func MulTrunc(a, b Word128) Word128 {
+	return TruncMiddle(Mul(a, b))
+}
+
+// Degree returns the degree of the polynomial w (index of its highest set
+// bit), or -1 if w is zero. Used by tests to validate ring identities.
+func Degree(w Word128) int {
+	if w.Hi != 0 {
+		return 127 - bits.LeadingZeros64(w.Hi)
+	}
+	if w.Lo != 0 {
+		return 63 - bits.LeadingZeros64(w.Lo)
+	}
+	return -1
+}
+
+// PopCount returns the number of set bits across the 128-bit value.
+func PopCount(w Word128) int {
+	return bits.OnesCount64(w.Hi) + bits.OnesCount64(w.Lo)
+}

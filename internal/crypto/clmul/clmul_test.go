@@ -1,0 +1,165 @@
+package clmul
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMul64KnownValues(t *testing.T) {
+	cases := []struct {
+		a, b   uint64
+		hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{2, 3, 0, 6},                   // x * (x+1) = x^2 + x
+		{3, 3, 0, 5},                   // (x+1)^2 = x^2 + 1 over GF(2)
+		{1 << 63, 2, 1, 0},             // x^63 * x = x^64
+		{1 << 63, 1 << 63, 1 << 62, 0}, // x^63 * x^63 = x^126
+		{0xffffffffffffffff, 1, 0, 0xffffffffffffffff},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%#x,%#x) = (%#x,%#x), want (%#x,%#x)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint64) bool {
+		a := Word128{a1, a0}
+		b := Word128{b1, b0}
+		return Mul(a, b) == Mul(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulDistributive(t *testing.T) {
+	// a*(b+c) == a*b + a*c where + is XOR (GF(2)[x] ring law).
+	f := func(a0, a1, b0, b1, c0, c1 uint64) bool {
+		a := Word128{a1, a0}
+		b := Word128{b1, b0}
+		c := Word128{c1, c0}
+		left := Mul(a, b.Xor(c))
+		ab := Mul(a, b)
+		ac := Mul(a, c)
+		sum := Word256{ab.W3 ^ ac.W3, ab.W2 ^ ac.W2, ab.W1 ^ ac.W1, ab.W0 ^ ac.W0}
+		return left == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	one := Word128{0, 1}
+	f := func(a0, a1 uint64) bool {
+		a := Word128{a1, a0}
+		p := Mul(a, one)
+		return p.W3 == 0 && p.W2 == 0 && p.W1 == a.Hi && p.W0 == a.Lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulZero(t *testing.T) {
+	f := func(a0, a1 uint64) bool {
+		p := Mul(Word128{a1, a0}, Word128{})
+		return p == Word256{}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeAdds(t *testing.T) {
+	// deg(a*b) = deg(a)+deg(b) for nonzero polynomials over GF(2).
+	f := func(a0, a1, b0, b1 uint64) bool {
+		a := Word128{a1, a0}
+		b := Word128{b1, b0}
+		if a.IsZero() || b.IsZero() {
+			return true
+		}
+		p := Mul(a, b)
+		got := -1
+		limbs := []uint64{p.W3, p.W2, p.W1, p.W0}
+		for i, l := range limbs {
+			if l != 0 {
+				d := 63
+				for l>>uint(d) == 0 {
+					d--
+				}
+				got = (3-i)*64 + d
+				break
+			}
+		}
+		return got == Degree(a)+Degree(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncMiddleBits(t *testing.T) {
+	p := Word256{W3: 0xAAAA, W2: 0xBBBB, W1: 0xCCCC, W0: 0xDDDD}
+	m := TruncMiddle(p)
+	if m.Hi != 0xBBBB || m.Lo != 0xCCCC {
+		t.Fatalf("TruncMiddle = %+v, want Hi=0xBBBB Lo=0xCCCC", m)
+	}
+}
+
+// TestMulTruncLossy verifies the security-relevant property from §IV-D1:
+// distinct operand pairs can map to the same truncated product, i.e. the
+// combine is not injective, while full products remain distinct.
+func TestMulTruncLossy(t *testing.T) {
+	// a*x and (a<<64 over Lo boundary) style collisions are hard to craft by
+	// hand; instead verify information loss dimensionally: the low 64 bits of
+	// the full product do not affect the result.
+	a := Word128{0, 3}
+	b1 := Word128{0, 1} // product 3
+	b2 := Word128{0, 0} // product 0
+	if MulTrunc(a, b1) != MulTrunc(a, b2) {
+		t.Fatal("products differing only below bit 64 should truncate equally")
+	}
+	if Mul(a, b1) == Mul(a, b2) {
+		t.Fatal("full products should differ")
+	}
+}
+
+// TestPrefixingBreaksCommutativityExploit reproduces the paper's type-A
+// repeat elimination: AES inputs are formed as (0^72 || ctr) for counters
+// and (addr || 0^64) for addresses, so even though CLMUL is commutative,
+// swapping the roles of an address and counter with equal bit patterns feeds
+// different AES inputs. Here we verify at the combine layer that the padded
+// operand domains are disjoint.
+func TestPrefixingBreaksCommutativityExploit(t *testing.T) {
+	v := uint64(0x123456)
+	ctrOperand := Word128{Hi: 0, Lo: v}  // zero-prefixed counter
+	addrOperand := Word128{Hi: v, Lo: 0} // zero-suffixed address
+	if ctrOperand == addrOperand {
+		t.Fatal("padding failed to separate domains")
+	}
+	// Same numeric value in the two roles must not yield identical operands.
+	if MulTrunc(ctrOperand, addrOperand) != MulTrunc(addrOperand, ctrOperand) {
+		t.Fatal("CLMUL must itself be commutative (the defense is padding, not the multiply)")
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	if got := PopCount(Word128{Hi: ^uint64(0), Lo: 1}); got != 65 {
+		t.Fatalf("PopCount = %d, want 65", got)
+	}
+}
+
+func BenchmarkMulTrunc(b *testing.B) {
+	x := Word128{0x0123456789abcdef, 0xfedcba9876543210}
+	y := Word128{0xdeadbeefcafebabe, 0x0f1e2d3c4b5a6978}
+	for i := 0; i < b.N; i++ {
+		x = MulTrunc(x, y)
+	}
+	_ = x
+}

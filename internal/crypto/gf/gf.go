@@ -1,0 +1,93 @@
+// Package gf implements arithmetic in GF(2^64) and the Galois-field
+// dot-product message authentication code used by the secure-memory engine
+// (paper Figure 2b).
+//
+// A 64-byte memory block is viewed as eight 64-bit words w0..w7. The MAC
+// body is the dot product sum_i (w_i ⊗ k_i) over GF(2^64) with per-slot
+// secret keys k_i, truncated to 56 bits and XORed with (a truncation of) the
+// block's one-time pad. The dot product is fully parallel in hardware and
+// the paper models it at 1 ns, far off the critical path compared to AES.
+package gf
+
+// Poly is the reduction polynomial for GF(2^64): x^64 + x^4 + x^3 + x + 1
+// (a standard irreducible pentanomial), represented by its low 64 bits.
+const Poly uint64 = 0x1b
+
+// Mul multiplies a and b in GF(2^64).
+func Mul(a, b uint64) uint64 {
+	var p uint64
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a >> 63
+		a <<= 1
+		if hi != 0 {
+			a ^= Poly
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// Add adds (XORs) two field elements; subtraction is identical.
+func Add(a, b uint64) uint64 { return a ^ b }
+
+// Pow raises a to the e-th power in GF(2^64) by square-and-multiply.
+func Pow(a uint64, e uint64) uint64 {
+	result := uint64(1)
+	base := a
+	for e > 0 {
+		if e&1 != 0 {
+			result = Mul(result, base)
+		}
+		base = Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a (a^(2^64-2)); Inv(0) is 0.
+func Inv(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	// a^(2^64-2) via Fermat's little theorem for GF(2^64).
+	return Pow(a, ^uint64(0)-1)
+}
+
+// BlockWords is the number of 64-bit words in a 64-byte memory block.
+const BlockWords = 8
+
+// MACBits is the width of the stored MAC (paper: 56-bit MACs co-located
+// with data and ECC in the same DRAM block).
+const MACBits = 56
+
+// MACMask masks a 64-bit value down to MACBits.
+const MACMask = (uint64(1) << MACBits) - 1
+
+// Keys is the per-slot secret key vector for the dot product.
+type Keys [BlockWords]uint64
+
+// DotProduct computes sum_i (words[i] ⊗ keys[i]) over GF(2^64).
+func DotProduct(words *[BlockWords]uint64, keys *Keys) uint64 {
+	var acc uint64
+	for i := 0; i < BlockWords; i++ {
+		acc ^= Mul(words[i], keys[i])
+	}
+	return acc
+}
+
+// MAC computes the 56-bit MAC for a block: the dot product of the block's
+// words with the keys, XORed with the OTP contribution (already truncated
+// and folded by the caller's OTP unit), masked to 56 bits.
+func MAC(words *[BlockWords]uint64, keys *Keys, otp56 uint64) uint64 {
+	return (DotProduct(words, keys) ^ otp56) & MACMask
+}
+
+// FoldOTP reduces a 128-bit OTP (hi, lo) to the 56-bit value blended into
+// the MAC: XOR the halves and truncate, matching the paper's "XOR and
+// Truncate" box in Figure 2b.
+func FoldOTP(hi, lo uint64) uint64 {
+	return (hi ^ lo) & MACMask
+}

@@ -1,0 +1,159 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmcc/internal/rng"
+)
+
+func TestMulBasics(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 0, 0},
+		{1, 1, 1},
+		{0xff, 0, 0},
+		{2, 1 << 63, Poly}, // x * x^63 = x^64 ≡ Poly
+		{3, 3, 5},          // (x+1)^2 = x^2+1
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x,%#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b uint64) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulDistributive(t *testing.T) {
+	f := func(a, b, c uint64) bool { return Mul(a, b^c) == Mul(a, b)^Mul(a, c) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := rng.New(5)
+	for i := 0; i < 20; i++ {
+		a := r.Uint64()
+		if a == 0 {
+			continue
+		}
+		inv := Inv(a)
+		if got := Mul(a, inv); got != 1 {
+			t.Fatalf("a*Inv(a) = %#x for a=%#x", got, a)
+		}
+	}
+	if Inv(0) != 0 {
+		t.Fatal("Inv(0) should be 0 by convention")
+	}
+}
+
+func TestPow(t *testing.T) {
+	a := uint64(0x9249)
+	if Pow(a, 0) != 1 {
+		t.Fatal("a^0 != 1")
+	}
+	if Pow(a, 1) != a {
+		t.Fatal("a^1 != a")
+	}
+	if Pow(a, 3) != Mul(a, Mul(a, a)) {
+		t.Fatal("a^3 mismatch")
+	}
+}
+
+func TestDotProductLinearity(t *testing.T) {
+	r := rng.New(7)
+	var keys Keys
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	f := func(w1, w2 [BlockWords]uint64) bool {
+		var sum [BlockWords]uint64
+		for i := range sum {
+			sum[i] = w1[i] ^ w2[i]
+		}
+		return DotProduct(&sum, &keys) == DotProduct(&w1, &keys)^DotProduct(&w2, &keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMACDetectsSingleWordTamper(t *testing.T) {
+	r := rng.New(11)
+	var keys Keys
+	for i := range keys {
+		keys[i] = r.Uint64() | 1 // nonzero keys
+	}
+	var words [BlockWords]uint64
+	for i := range words {
+		words[i] = r.Uint64()
+	}
+	otp := FoldOTP(r.Uint64(), r.Uint64())
+	mac := MAC(&words, &keys, otp)
+	for i := 0; i < BlockWords; i++ {
+		tampered := words
+		tampered[i] ^= 1 << uint(i*7)
+		if MAC(&tampered, &keys, otp) == mac {
+			t.Fatalf("single-bit tamper in word %d not detected", i)
+		}
+	}
+}
+
+func TestMACWidth(t *testing.T) {
+	f := func(words [BlockWords]uint64, k0 uint64, otpHi, otpLo uint64) bool {
+		var keys Keys
+		for i := range keys {
+			keys[i] = k0 + uint64(i)
+		}
+		m := MAC(&words, &keys, FoldOTP(otpHi, otpLo))
+		return m <= MACMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMACOTPBindsValue(t *testing.T) {
+	// Same data, different OTP (i.e. different counter) must give a
+	// different MAC: replaying stale data+MAC under a new counter fails.
+	var keys Keys
+	keys[0] = 0xabcdef
+	var words [BlockWords]uint64
+	words[0] = 42
+	m1 := MAC(&words, &keys, FoldOTP(1, 2))
+	m2 := MAC(&words, &keys, FoldOTP(3, 4))
+	if m1 == m2 {
+		t.Fatal("MAC did not bind the OTP")
+	}
+}
+
+func TestFoldOTP(t *testing.T) {
+	if got := FoldOTP(0xff00000000000000, 0x00000000000000ff); got != 0xff000000000000ff&MACMask {
+		t.Fatalf("FoldOTP = %#x", got)
+	}
+}
+
+func BenchmarkDotProduct(b *testing.B) {
+	var keys Keys
+	var words [BlockWords]uint64
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+		words[i] = uint64(i) * 0xd1342543de82ef95
+	}
+	for i := 0; i < b.N; i++ {
+		_ = DotProduct(&words, &keys)
+	}
+}

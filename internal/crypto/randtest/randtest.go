@@ -1,0 +1,382 @@
+// Package randtest implements a subset of the NIST SP 800-22 statistical
+// test suite for random and pseudorandom number generators.
+//
+// The paper (§IV-D1) validates the RMCC OTP construction empirically: "Our
+// OTPs pass NIST randomness tests at the same rate as the two streams of AES
+// outputs used to calculate the OTPs." This package provides the frequency
+// (monobit), block-frequency, runs, longest-run-of-ones, cumulative-sums and
+// serial tests, which are the suite's core battery for short sequences, so
+// the repository can reproduce that claim.
+//
+// Each test returns a p-value; a sequence passes a test at significance
+// level α = 0.01 when p ≥ 0.01.
+package randtest
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alpha is the significance level used by Pass.
+const Alpha = 0.01
+
+// Bits is a bit sequence stored one bit per byte (0 or 1) for clarity.
+type Bits []byte
+
+// FromBytes expands a byte string into a Bits sequence, MSB first.
+func FromBytes(data []byte) Bits {
+	out := make(Bits, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			out = append(out, (b>>uint(i))&1)
+		}
+	}
+	return out
+}
+
+// FromUint64s expands 64-bit words into bits, MSB first.
+func FromUint64s(words []uint64) Bits {
+	out := make(Bits, 0, len(words)*64)
+	for _, w := range words {
+		for i := 63; i >= 0; i-- {
+			out = append(out, byte(w>>uint(i))&1)
+		}
+	}
+	return out
+}
+
+// Result is the outcome of one statistical test.
+type Result struct {
+	Name   string
+	PValue float64
+}
+
+// Pass reports whether the test passed at the α = 0.01 level.
+func (r Result) Pass() bool { return r.PValue >= Alpha }
+
+func (r Result) String() string {
+	verdict := "PASS"
+	if !r.Pass() {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf("%-22s p=%.4f %s", r.Name, r.PValue, verdict)
+}
+
+// Frequency is the NIST frequency (monobit) test: the proportion of ones
+// should be close to 1/2.
+func Frequency(bits Bits) Result {
+	n := len(bits)
+	s := 0
+	for _, b := range bits {
+		if b == 1 {
+			s++
+		} else {
+			s--
+		}
+	}
+	sObs := math.Abs(float64(s)) / math.Sqrt(float64(n))
+	p := math.Erfc(sObs / math.Sqrt2)
+	return Result{Name: "Frequency", PValue: p}
+}
+
+// BlockFrequency is the NIST block-frequency test with block size m.
+func BlockFrequency(bits Bits, m int) Result {
+	n := len(bits)
+	nBlocks := n / m
+	if nBlocks == 0 {
+		return Result{Name: "BlockFrequency", PValue: 0}
+	}
+	chi := 0.0
+	for i := 0; i < nBlocks; i++ {
+		ones := 0
+		for j := 0; j < m; j++ {
+			if bits[i*m+j] == 1 {
+				ones++
+			}
+		}
+		pi := float64(ones) / float64(m)
+		d := pi - 0.5
+		chi += d * d
+	}
+	chi *= 4 * float64(m)
+	p := igamc(float64(nBlocks)/2, chi/2)
+	return Result{Name: "BlockFrequency", PValue: p}
+}
+
+// Runs is the NIST runs test: the number of uninterrupted runs of identical
+// bits should match the expectation for a random sequence.
+func Runs(bits Bits) Result {
+	n := len(bits)
+	ones := 0
+	for _, b := range bits {
+		if b == 1 {
+			ones++
+		}
+	}
+	pi := float64(ones) / float64(n)
+	// Prerequisite frequency check from the NIST spec.
+	if math.Abs(pi-0.5) >= 2/math.Sqrt(float64(n)) {
+		return Result{Name: "Runs", PValue: 0}
+	}
+	v := 1
+	for i := 1; i < n; i++ {
+		if bits[i] != bits[i-1] {
+			v++
+		}
+	}
+	num := math.Abs(float64(v) - 2*float64(n)*pi*(1-pi))
+	den := 2 * math.Sqrt(2*float64(n)) * pi * (1 - pi)
+	p := math.Erfc(num / den)
+	return Result{Name: "Runs", PValue: p}
+}
+
+// LongestRun is the NIST longest-run-of-ones test for sequences of at least
+// 128 bits (uses the M=8, K=3 parameterization for n < 6272, M=128 for
+// larger inputs per the spec's table).
+func LongestRun(bits Bits) Result {
+	n := len(bits)
+	var m int
+	var vCats []int
+	var probs []float64
+	switch {
+	case n < 128:
+		return Result{Name: "LongestRun", PValue: 0}
+	case n < 6272:
+		m = 8
+		vCats = []int{1, 2, 3, 4}
+		probs = []float64{0.2148, 0.3672, 0.2305, 0.1875}
+	case n < 750000:
+		m = 128
+		vCats = []int{4, 5, 6, 7, 8, 9}
+		probs = []float64{0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124}
+	default:
+		m = 10000
+		vCats = []int{10, 11, 12, 13, 14, 15, 16}
+		probs = []float64{0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727}
+	}
+	nBlocks := n / m
+	counts := make([]int, len(vCats))
+	for i := 0; i < nBlocks; i++ {
+		longest, cur := 0, 0
+		for j := 0; j < m; j++ {
+			if bits[i*m+j] == 1 {
+				cur++
+				if cur > longest {
+					longest = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		idx := 0
+		for idx < len(vCats)-1 && longest > vCats[idx] {
+			idx++
+		}
+		if longest < vCats[0] {
+			idx = 0
+		}
+		counts[idx]++
+	}
+	chi := 0.0
+	for i := range counts {
+		exp := float64(nBlocks) * probs[i]
+		d := float64(counts[i]) - exp
+		chi += d * d / exp
+	}
+	p := igamc(float64(len(vCats)-1)/2, chi/2)
+	return Result{Name: "LongestRun", PValue: p}
+}
+
+// CumulativeSums is the NIST cumulative-sums (forward) test.
+func CumulativeSums(bits Bits) Result {
+	n := len(bits)
+	s, z := 0, 0
+	for _, b := range bits {
+		if b == 1 {
+			s++
+		} else {
+			s--
+		}
+		if abs := s; abs < 0 {
+			abs = -abs
+			if abs > z {
+				z = abs
+			}
+		} else if abs > z {
+			z = abs
+		}
+	}
+	if z == 0 {
+		return Result{Name: "CumulativeSums", PValue: 0}
+	}
+	fn := float64(n)
+	fz := float64(z)
+	sum1 := 0.0
+	for k := (-n/z + 1) / 4; k <= (n/z-1)/4; k++ {
+		sum1 += normCDF((4*float64(k)+1)*fz/math.Sqrt(fn)) -
+			normCDF((4*float64(k)-1)*fz/math.Sqrt(fn))
+	}
+	sum2 := 0.0
+	for k := (-n/z - 3) / 4; k <= (n/z-1)/4; k++ {
+		sum2 += normCDF((4*float64(k)+3)*fz/math.Sqrt(fn)) -
+			normCDF((4*float64(k)+1)*fz/math.Sqrt(fn))
+	}
+	p := 1 - sum1 + sum2
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return Result{Name: "CumulativeSums", PValue: p}
+}
+
+// Serial is the NIST serial test with pattern length m (∇ψ²m statistic).
+func Serial(bits Bits, m int) Result {
+	psi := func(mm int) float64 {
+		if mm == 0 {
+			return 0
+		}
+		counts := make([]int, 1<<uint(mm))
+		n := len(bits)
+		for i := 0; i < n; i++ {
+			v := 0
+			for j := 0; j < mm; j++ {
+				v = v<<1 | int(bits[(i+j)%n])
+			}
+			counts[v]++
+		}
+		sum := 0.0
+		for _, c := range counts {
+			sum += float64(c) * float64(c)
+		}
+		return sum*float64(int(1)<<uint(mm))/float64(n) - float64(n)
+	}
+	d1 := psi(m) - psi(m-1)
+	d2 := psi(m) - 2*psi(m-1) + psi(m-2)
+	p1 := igamc(float64(int(1)<<uint(m-1))/2, d1/2)
+	p2 := igamc(float64(int(1)<<uint(m-2))/2, d2/2)
+	p := math.Min(p1, p2)
+	return Result{Name: "Serial", PValue: p}
+}
+
+// ApproximateEntropy is the NIST approximate-entropy test with pattern
+// length m: it compares the frequencies of overlapping m- and (m+1)-bit
+// patterns; regular sequences have low approximate entropy.
+func ApproximateEntropy(bits Bits, m int) Result {
+	n := len(bits)
+	phi := func(mm int) float64 {
+		if mm == 0 {
+			return 0
+		}
+		counts := make([]int, 1<<uint(mm))
+		for i := 0; i < n; i++ {
+			v := 0
+			for j := 0; j < mm; j++ {
+				v = v<<1 | int(bits[(i+j)%n])
+			}
+			counts[v]++
+		}
+		sum := 0.0
+		for _, c := range counts {
+			if c > 0 {
+				p := float64(c) / float64(n)
+				sum += p * math.Log(p)
+			}
+		}
+		return sum
+	}
+	apEn := phi(m) - phi(m+1)
+	chi := 2 * float64(n) * (math.Ln2 - apEn)
+	p := igamc(float64(int(1)<<uint(m-1)), chi/2)
+	return Result{Name: "ApproximateEntropy", PValue: p}
+}
+
+// Battery runs the full set of implemented tests with standard parameters.
+func Battery(bits Bits) []Result {
+	return []Result{
+		Frequency(bits),
+		BlockFrequency(bits, 128),
+		Runs(bits),
+		LongestRun(bits),
+		CumulativeSums(bits),
+		Serial(bits, 5),
+		ApproximateEntropy(bits, 5),
+	}
+}
+
+// PassRate returns the fraction of battery tests the sequence passes.
+func PassRate(bits Bits) float64 {
+	rs := Battery(bits)
+	pass := 0
+	for _, r := range rs {
+		if r.Pass() {
+			pass++
+		}
+	}
+	return float64(pass) / float64(len(rs))
+}
+
+// normCDF is the standard normal cumulative distribution function.
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// igamc computes the regularized upper incomplete gamma function Q(a, x),
+// following the series/continued-fraction split from Numerical Recipes.
+func igamc(a, x float64) float64 {
+	switch {
+	case x <= 0 || a <= 0:
+		return 1
+	case x < a+1:
+		return 1 - gser(a, x)
+	default:
+		return gcf(a, x)
+	}
+}
+
+// gser computes P(a,x) by its series representation.
+func gser(a, x float64) float64 {
+	lnGammaA, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lnGammaA)
+}
+
+// gcf computes Q(a,x) by its continued-fraction representation.
+func gcf(a, x float64) float64 {
+	lnGammaA, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lnGammaA) * h
+}

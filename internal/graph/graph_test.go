@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+)
+
+func testGraph(t testing.TB) *CSR {
+	t.Helper()
+	return GenerateRMAT(DefaultRMAT(12, 8), 1)
+}
+
+func TestGeometry(t *testing.T) {
+	g := testGraph(t)
+	if g.N != 4096 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.M() != 4096*8 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if len(g.Offsets) != g.N+1 {
+		t.Fatalf("offsets len = %d", len(g.Offsets))
+	}
+	if g.Offsets[g.N] != uint64(g.M()) {
+		t.Fatalf("last offset = %d", g.Offsets[g.N])
+	}
+}
+
+func TestOffsetsMonotone(t *testing.T) {
+	g := testGraph(t)
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			t.Fatalf("offsets decrease at %d", v)
+		}
+	}
+}
+
+func TestNeighborsSortedInRange(t *testing.T) {
+	g := testGraph(t)
+	for v := 0; v < g.N; v++ {
+		adj := g.Neighbors(v)
+		if !sort.SliceIsSorted(adj, func(i, j int) bool { return adj[i] < adj[j] }) {
+			t.Fatalf("adjacency of %d unsorted", v)
+		}
+		for _, u := range adj {
+			if int(u) >= g.N {
+				t.Fatalf("edge to out-of-range vertex %d", u)
+			}
+			if int(u) == v {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g := testGraph(t)
+	degs := make([]int, g.N)
+	for v := range degs {
+		degs[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top1pct := g.N / 100
+	topSum := 0
+	for _, d := range degs[:top1pct] {
+		topSum += d
+	}
+	// In an R-MAT graph the top 1% of vertices should hold far more than
+	// 1% of the edges (heavy skew).
+	if frac := float64(topSum) / float64(g.M()); frac < 0.05 {
+		t.Fatalf("degree distribution not skewed: top 1%% holds %.1f%% of edges", frac*100)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := GenerateRMAT(DefaultRMAT(10, 4), 7)
+	b := GenerateRMAT(DefaultRMAT(10, 4), 7)
+	if a.M() != b.M() {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatalf("targets differ at %d", i)
+		}
+	}
+	c := GenerateRMAT(DefaultRMAT(10, 4), 8)
+	same := 0
+	for i := range a.Targets {
+		if a.Targets[i] == c.Targets[i] {
+			same++
+		}
+	}
+	if same == len(a.Targets) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestMaxDegreeVertex(t *testing.T) {
+	g := testGraph(t)
+	v := g.MaxDegreeVertex()
+	d := g.Degree(v)
+	for u := 0; u < g.N; u++ {
+		if g.Degree(u) > d {
+			t.Fatalf("vertex %d has higher degree than reported max", u)
+		}
+	}
+	if d < g.M()/g.N {
+		t.Fatal("max degree below average degree")
+	}
+}
+
+func BenchmarkGenerateRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenerateRMAT(DefaultRMAT(14, 8), uint64(i))
+	}
+}

@@ -1,0 +1,248 @@
+// Package cache implements a set-associative, write-back cache model with
+// true-LRU replacement. It backs the L1/L2/L3 data caches, the memory
+// controller's counter cache, and (via package tlb) the TLB.
+//
+// The model is functional: it tracks presence, dirtiness, and replacement
+// state, not contents. Contents live in the functional memory image owned by
+// the secure-memory engine; what the simulator needs from a cache is *which*
+// accesses hit and *which* victims are written back.
+package cache
+
+import "fmt"
+
+// Config sizes a cache.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineBytes int // line (block) size; 64 for data caches
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: LineBytes %d must be a positive power of two", c.LineBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("cache: Ways %d must be positive", c.Ways)
+	case c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache: SizeBytes %d not divisible into %d-way sets of %dB lines",
+			c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// Stats counts cache events since construction or the last ResetStats.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// Accesses returns hits+misses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses) / float64(a)
+	}
+	return 0
+}
+
+// Cache is a set-associative LRU cache. Not safe for concurrent use; the
+// simulator is single-threaded on the event engine.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	sets      [][]line
+	stamp     uint64
+	stats     Stats
+}
+
+// New builds a cache; it panics on an invalid configuration because cache
+// geometry is fixed at experiment-definition time.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	nSets := cfg.Sets()
+	sets := make([][]line, nSets)
+	backing := make([]line, nSets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{
+		cfg:       cfg,
+		lineShift: shift,
+		setMask:   uint64(nSets - 1),
+		sets:      sets,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without disturbing contents (used after
+// warmup).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	l := addr >> c.lineShift
+	return l & c.setMask, l >> uint(popShift(c.setMask))
+}
+
+func popShift(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+// Result describes the outcome of an Access.
+type Result struct {
+	Hit        bool
+	Evicted    bool   // a valid victim was displaced
+	Writeback  bool   // the victim was dirty (needs a memory write)
+	VictimAddr uint64 // line address of the victim, valid when Evicted
+}
+
+// Access looks up addr, allocates on miss (write-allocate), updates LRU,
+// and marks the line dirty on writes. It returns what happened, including
+// any victim that must be written back.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	c.stamp++
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].lru = c.stamp
+			if write {
+				lines[i].dirty = true
+			}
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	// Choose victim: invalid way first, else LRU.
+	victim := 0
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+		if lines[i].lru < lines[victim].lru {
+			victim = i
+		}
+	}
+	var res Result
+	if lines[victim].valid {
+		res.Evicted = true
+		res.Writeback = lines[victim].dirty
+		res.VictimAddr = c.reconstruct(set, lines[victim].tag)
+		c.stats.Evictions++
+		if lines[victim].dirty {
+			c.stats.Writebacks++
+		}
+	}
+	lines[victim] = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	return res
+}
+
+// Probe reports whether addr is resident without updating LRU or counters.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for _, l := range c.sets[set] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch marks addr most-recently-used if resident (no allocation).
+func (c *Cache) Touch(addr uint64) {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			c.stamp++
+			lines[i].lru = c.stamp
+			return
+		}
+	}
+}
+
+// Invalidate drops addr if resident and reports whether the dropped line
+// was dirty (the caller owns the resulting writeback).
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			dirty = lines[i].dirty
+			lines[i] = line{}
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// MarkClean clears the dirty bit of addr if resident (after an explicit
+// writeback flush).
+func (c *Cache) MarkClean(addr uint64) {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].dirty = false
+			return
+		}
+	}
+}
+
+func (c *Cache) reconstruct(set, tag uint64) uint64 {
+	return (tag<<uint(popShift(c.setMask)) | set) << c.lineShift
+}
+
+// ResidentLines returns the number of valid lines (for tests and occupancy
+// stats).
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, s := range c.sets {
+		for _, l := range s {
+			if l.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,229 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmcc/internal/rng"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 64B lines = 512B.
+	return New(Config{SizeBytes: 512, Ways: 2, LineBytes: 64})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 512, Ways: 2, LineBytes: 48},        // non power-of-two line
+		{SizeBytes: 512, Ways: 0, LineBytes: 64},        // zero ways
+		{SizeBytes: 500, Ways: 2, LineBytes: 64},        // not divisible
+		{SizeBytes: 64 * 2 * 3, Ways: 2, LineBytes: 64}, // 3 sets
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: config %+v unexpectedly valid", i, cfg)
+		}
+	}
+	good := Config{SizeBytes: 128 << 10, Ways: 32, LineBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Errorf("counter-cache config invalid: %v", err)
+	}
+	if got := good.Sets(); got != 64 {
+		t.Errorf("Sets = %d, want 64", got)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := small()
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	if r := c.Access(0x1004, false); !r.Hit {
+		t.Fatal("same-line offset missed")
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()
+	// Three lines mapping to set 0 (set stride = 4 sets * 64B = 256B).
+	a, b, d := uint64(0x0000), uint64(0x0100), uint64(0x0200)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU, b is LRU
+	r := c.Access(d, false)
+	if r.Hit || !r.Evicted {
+		t.Fatalf("expected eviction, got %+v", r)
+	}
+	if r.VictimAddr != b {
+		t.Fatalf("victim = %#x, want %#x (LRU)", r.VictimAddr, b)
+	}
+	if !c.Probe(a) || c.Probe(b) || !c.Probe(d) {
+		t.Fatal("wrong resident set after eviction")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := small()
+	c.Access(0x0000, true) // dirty
+	c.Access(0x0100, false)
+	r := c.Access(0x0200, false) // evicts 0x0000
+	if !r.Evicted || !r.Writeback || r.VictimAddr != 0 {
+		t.Fatalf("expected dirty writeback of line 0, got %+v", r)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	c := small()
+	c.Access(0x0000, false)
+	c.Access(0x0100, false)
+	r := c.Access(0x0200, false)
+	if !r.Evicted || r.Writeback {
+		t.Fatalf("expected clean eviction, got %+v", r)
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := small()
+	c.Access(0x0000, false)
+	c.Access(0x0000, true) // hit, now dirty
+	c.Access(0x0100, false)
+	r := c.Access(0x0200, false)
+	if !r.Writeback {
+		t.Fatal("dirty bit from write hit lost")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Access(0x0000, true)
+	present, dirty := c.Invalidate(0x0000)
+	if !present || !dirty {
+		t.Fatalf("invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if c.Probe(0x0000) {
+		t.Fatal("line still resident")
+	}
+	present, _ = c.Invalidate(0x0000)
+	if present {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestMarkClean(t *testing.T) {
+	c := small()
+	c.Access(0x0000, true)
+	c.MarkClean(0x0000)
+	c.Access(0x0100, false)
+	r := c.Access(0x0200, false)
+	if r.Writeback {
+		t.Fatal("cleaned line still wrote back")
+	}
+}
+
+func TestTouchPreventsEviction(t *testing.T) {
+	c := small()
+	c.Access(0x0000, false)
+	c.Access(0x0100, false) // 0x0000 is LRU
+	c.Touch(0x0000)         // now 0x0100 is LRU
+	r := c.Access(0x0200, false)
+	if r.VictimAddr != 0x0100 {
+		t.Fatalf("victim = %#x, want 0x100", r.VictimAddr)
+	}
+}
+
+func TestVictimAddressReconstruction(t *testing.T) {
+	c := New(Config{SizeBytes: 64 << 10, Ways: 4, LineBytes: 64})
+	r := rng.New(17)
+	// Fill way beyond capacity and verify every victim address is one we
+	// inserted, line-aligned.
+	inserted := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		addr := r.Uint64() & 0xfffffff
+		la := c.LineAddr(addr)
+		inserted[la] = true
+		res := c.Access(addr, false)
+		if res.Evicted {
+			if res.VictimAddr%64 != 0 {
+				t.Fatalf("victim %#x not line aligned", res.VictimAddr)
+			}
+			if !inserted[res.VictimAddr] {
+				t.Fatalf("victim %#x never inserted", res.VictimAddr)
+			}
+		}
+	}
+}
+
+func TestResidencyNeverExceedsCapacity(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := New(Config{SizeBytes: 4096, Ways: 4, LineBytes: 64})
+		r := rng.New(seed)
+		for i := 0; i < 2000; i++ {
+			c.Access(r.Uint64()&0xffffff, r.Uint64()&1 == 0)
+		}
+		return c.ResidentLines() <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingSetFitsNoEvictions(t *testing.T) {
+	c := New(Config{SizeBytes: 8192, Ways: 8, LineBytes: 64})
+	// 128 lines capacity; access 64 lines repeatedly.
+	for round := 0; round < 10; round++ {
+		for i := uint64(0); i < 64; i++ {
+			c.Access(i*64, false)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 64 {
+		t.Fatalf("misses = %d, want 64 cold misses only", s.Misses)
+	}
+	if s.Evictions != 0 {
+		t.Fatalf("evictions = %d, want 0", s.Evictions)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := small()
+	if c.Stats().MissRate() != 0 {
+		t.Fatal("empty cache miss rate not 0")
+	}
+	c.Access(0, false)
+	c.Access(0, false)
+	if mr := c.Stats().MissRate(); mr != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", mr)
+	}
+}
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{SizeBytes: 128 << 10, Ways: 32, LineBytes: 64})
+	c.Access(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, false)
+	}
+}
+
+func BenchmarkAccessStream(b *testing.B) {
+	c := New(Config{SizeBytes: 128 << 10, Ways: 32, LineBytes: 64})
+	r := rng.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = r.Uint64() & 0xffffff
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095], i&7 == 0)
+	}
+}

@@ -1,0 +1,471 @@
+// Package dram models a DDR4 memory channel at bank-level timing
+// granularity: per-bank row buffers with an open-page/timeout policy,
+// FR-FCFS-capped scheduling, a shared data bus, per-rank refresh, and
+// separate read/write queues with write draining.
+//
+// The configuration defaults follow Table I of the paper: DDR4-3200
+// (3.2 GT/s), tCL = tRCD = tRP = 13.75 ns, tRFC = 350 ns, one channel with
+// eight ranks, a 500 ns row-buffer timeout, 256-entry read/write queues,
+// XOR-based (Skylake-like) bank mapping, and FR-FCFS-Capped bank-level
+// scheduling.
+package dram
+
+import (
+	"fmt"
+
+	"rmcc/internal/sim/event"
+)
+
+// Kind labels memory traffic for the bandwidth-breakdown experiments
+// (paper Figure 12 distinguishes data, counters, level-0 overflow and
+// level-1-and-higher overflow traffic).
+type Kind uint8
+
+// Traffic kinds.
+const (
+	KindData Kind = iota
+	KindCounter
+	KindOverflowL0
+	KindOverflowL1Plus
+	KindOther
+	numKinds
+)
+
+// NumKinds is the number of traffic categories, for sizing per-kind stats.
+const NumKinds = int(numKinds)
+
+// String returns the figure label for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindCounter:
+		return "counters"
+	case KindOverflowL0:
+		return "level 0 overflow"
+	case KindOverflowL1Plus:
+		return "level 1 and higher overflow"
+	default:
+		return "other"
+	}
+}
+
+// Config parameterizes the channel.
+type Config struct {
+	Ranks        int
+	BanksPerRank int
+	RowBytes     int // row-buffer size per bank
+
+	TCL, TRCD, TRP event.Time
+	TRFC, TREFI    event.Time
+	BurstTime      event.Time // time one 64 B line occupies the data bus
+	RowTimeout     event.Time // close an idle open row after this long
+
+	ReadQueueCap  int
+	WriteQueueCap int
+	FRFCFSCap     int // max older requests a row-hit may bypass
+}
+
+// DefaultConfig returns the Table-I DDR4 configuration.
+func DefaultConfig() Config {
+	return Config{
+		Ranks:        8,
+		BanksPerRank: 16,
+		RowBytes:     8 << 10,
+		TCL:          13750 * event.Picosecond,
+		TRCD:         13750 * event.Picosecond,
+		TRP:          13750 * event.Picosecond,
+		TRFC:         350 * event.Nanosecond,
+		TREFI:        7800 * event.Nanosecond,
+		// 64 B over a 64-bit bus at 3.2 GT/s: 8 beats x 312.5 ps = 2.5 ns.
+		BurstTime:     2500 * event.Picosecond,
+		RowTimeout:    500 * event.Nanosecond,
+		ReadQueueCap:  256,
+		WriteQueueCap: 256,
+		FRFCFSCap:     4,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Ranks <= 0 || c.BanksPerRank <= 0:
+		return fmt.Errorf("dram: need positive ranks/banks, got %d/%d", c.Ranks, c.BanksPerRank)
+	case c.RowBytes < 64 || c.RowBytes&(c.RowBytes-1) != 0:
+		return fmt.Errorf("dram: RowBytes %d must be a power of two >= 64", c.RowBytes)
+	case c.Ranks*c.BanksPerRank&(c.Ranks*c.BanksPerRank-1) != 0:
+		return fmt.Errorf("dram: total banks %d must be a power of two", c.Ranks*c.BanksPerRank)
+	case c.BurstTime <= 0 || c.TCL <= 0:
+		return fmt.Errorf("dram: timings must be positive")
+	}
+	return nil
+}
+
+// Request is one 64-byte transfer. OnComplete fires when the data burst
+// finishes (read data available / write retired at the device).
+type Request struct {
+	Addr       uint64
+	Write      bool
+	Kind       Kind
+	OnComplete func(at event.Time)
+
+	enqueued event.Time
+	bank     int
+	row      uint64
+}
+
+type bank struct {
+	openRow  uint64
+	rowValid bool
+	readyAt  event.Time // earliest next activate/CAS
+	lastUse  event.Time // end of last burst (for the row timeout)
+}
+
+// Stats aggregates channel activity.
+type Stats struct {
+	Reads, Writes      uint64
+	RowHits            uint64
+	RowMisses          uint64 // closed row (timeout or fresh bank)
+	RowConflicts       uint64 // different row open
+	BusBusy            event.Time
+	BusBusyByKind      [numKinds]event.Time
+	RequestsByKind     [numKinds]uint64
+	TotalReadLatency   event.Time // enqueue -> data, reads only
+	MaxQueueOccupancy  int
+	RefreshStallEvents uint64
+}
+
+// AvgReadLatency returns the mean enqueue-to-data latency of reads.
+func (s Stats) AvgReadLatency() event.Time {
+	if s.Reads == 0 {
+		return 0
+	}
+	return s.TotalReadLatency / event.Time(s.Reads)
+}
+
+// Utilization returns the fraction of wall-clock the data bus was busy over
+// the elapsed window, i.e. bandwidth normalized to the channel's peak.
+func (s Stats) Utilization(elapsed event.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.BusBusy) / float64(elapsed)
+}
+
+// UtilizationByKind returns per-kind bandwidth utilization.
+func (s Stats) UtilizationByKind(elapsed event.Time) map[string]float64 {
+	out := make(map[string]float64, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		if elapsed > 0 {
+			out[k.String()] = float64(s.BusBusyByKind[k]) / float64(elapsed)
+		} else {
+			out[k.String()] = 0
+		}
+	}
+	return out
+}
+
+// Channel is one DDR4 channel driven by an event engine.
+type Channel struct {
+	eng   *event.Engine
+	cfg   Config
+	banks []bank
+
+	readQ  []*Request
+	writeQ []*Request
+	// draining switches the scheduler to the write queue until it falls
+	// below the low watermark, the standard write-drain policy.
+	draining bool
+
+	busFree  event.Time
+	inflight int
+	wakeAt   event.Time // earliest pending wake event, 0 = none
+
+	linesPerRow uint64
+	bankMask    uint64
+
+	stats Stats
+}
+
+// New builds a channel on the engine; it panics on invalid configuration.
+func New(eng *event.Engine, cfg Config) *Channel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nb := cfg.Ranks * cfg.BanksPerRank
+	return &Channel{
+		eng:         eng,
+		cfg:         cfg,
+		banks:       make([]bank, nb),
+		linesPerRow: uint64(cfg.RowBytes / 64),
+		bankMask:    uint64(nb - 1),
+	}
+}
+
+// Config returns the channel configuration.
+func (ch *Channel) Config() Config { return ch.cfg }
+
+// Stats returns a copy of the counters.
+func (ch *Channel) Stats() Stats { return ch.stats }
+
+// ResetStats zeroes counters (after warmup) without disturbing bank state.
+func (ch *Channel) ResetStats() { ch.stats = Stats{} }
+
+// QueuedReads returns the read-queue occupancy (for backpressure).
+func (ch *Channel) QueuedReads() int { return len(ch.readQ) }
+
+// QueuedWrites returns the write-queue occupancy (for backpressure).
+func (ch *Channel) QueuedWrites() int { return len(ch.writeQ) }
+
+// Idle reports whether the channel has no queued or in-flight requests.
+func (ch *Channel) Idle() bool {
+	return len(ch.readQ) == 0 && len(ch.writeQ) == 0 && ch.inflight == 0
+}
+
+// mapAddr splits a line address into bank and row. Consecutive lines share
+// a row (open-page locality); the bank index is an XOR fold of row-granular
+// address bits, the Skylake-like mapping from Table I.
+func (ch *Channel) mapAddr(addr uint64) (bankIdx int, row uint64) {
+	line := addr >> 6
+	rowGrain := line / ch.linesPerRow
+	b := (rowGrain ^ (rowGrain >> 7) ^ (rowGrain >> 13)) & ch.bankMask
+	return int(b), rowGrain >> popBits(ch.bankMask)
+}
+
+func popBits(mask uint64) uint {
+	n := uint(0)
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+// Enqueue submits a request. It returns false when the target queue is
+// full; the caller owns retry/backpressure.
+func (ch *Channel) Enqueue(r *Request) bool {
+	if r.Write {
+		if len(ch.writeQ) >= ch.cfg.WriteQueueCap {
+			return false
+		}
+	} else if len(ch.readQ) >= ch.cfg.ReadQueueCap {
+		return false
+	}
+	r.enqueued = ch.eng.Now()
+	r.bank, r.row = ch.mapAddr(r.Addr)
+	if r.Write {
+		ch.writeQ = append(ch.writeQ, r)
+	} else {
+		ch.readQ = append(ch.readQ, r)
+	}
+	if occ := len(ch.readQ) + len(ch.writeQ); occ > ch.stats.MaxQueueOccupancy {
+		ch.stats.MaxQueueOccupancy = occ
+	}
+	ch.schedule()
+	return true
+}
+
+// refreshEnd returns the earliest time >= t at which the rank owning
+// bankIdx is not refreshing. Each rank refreshes for tRFC at the *end* of
+// every tREFI interval (so simulation start is refresh-free), staggered per
+// rank by tREFI/ranks.
+func (ch *Channel) refreshEnd(bankIdx int, t event.Time) event.Time {
+	rank := bankIdx / ch.cfg.BanksPerRank
+	offset := event.Time(rank) * ch.cfg.TREFI / event.Time(ch.cfg.Ranks)
+	if t < offset {
+		return t
+	}
+	phase := (t - offset) % ch.cfg.TREFI
+	if gate := ch.cfg.TREFI - ch.cfg.TRFC; phase >= gate {
+		return t + (ch.cfg.TREFI - phase)
+	}
+	return t
+}
+
+// rowState classifies the bank's row buffer with respect to row at time t,
+// applying the open-page timeout.
+type rowState uint8
+
+const (
+	rowHit rowState = iota
+	rowClosed
+	rowConflict
+)
+
+func (ch *Channel) rowStateAt(b *bank, row uint64, t event.Time) rowState {
+	if !b.rowValid {
+		return rowClosed
+	}
+	if t-b.lastUse > ch.cfg.RowTimeout {
+		// The row was closed in the background after the timeout; the
+		// precharge already happened off the critical path.
+		return rowClosed
+	}
+	if b.openRow == row {
+		return rowHit
+	}
+	return rowConflict
+}
+
+// accessLatency returns command latency (activate/precharge/CAS) for the
+// given row state.
+func (ch *Channel) accessLatency(st rowState) event.Time {
+	switch st {
+	case rowHit:
+		return ch.cfg.TCL
+	case rowClosed:
+		return ch.cfg.TRCD + ch.cfg.TCL
+	default:
+		return ch.cfg.TRP + ch.cfg.TRCD + ch.cfg.TCL
+	}
+}
+
+// currentQueue returns the queue the scheduler serves this cycle, applying
+// the write-drain policy: serve reads unless the write queue is above its
+// high watermark (or there are no reads), and keep draining until it falls
+// below the low watermark.
+func (ch *Channel) currentQueue() *[]*Request {
+	hi := ch.cfg.WriteQueueCap * 3 / 4
+	lo := ch.cfg.WriteQueueCap / 4
+	if ch.draining {
+		if len(ch.writeQ) <= lo {
+			ch.draining = false
+		}
+	} else if len(ch.writeQ) >= hi {
+		ch.draining = true
+	}
+	if ch.draining && len(ch.writeQ) > 0 {
+		return &ch.writeQ
+	}
+	if len(ch.readQ) > 0 {
+		return &ch.readQ
+	}
+	if len(ch.writeQ) > 0 {
+		return &ch.writeQ
+	}
+	return nil
+}
+
+// pick selects the next request to issue at time now under FR-FCFS-Capped:
+// the oldest row-hit request whose bank is ready wins, unless it would
+// bypass more than FRFCFSCap older ready requests, in which case the oldest
+// ready request wins. It returns the queue the request lives in.
+func (ch *Channel) pick(now event.Time) (q *[]*Request, req *Request, idx int) {
+	q = ch.currentQueue()
+	if q == nil {
+		return nil, nil, -1
+	}
+	var oldest *Request
+	oldestIdx := -1
+	bypassed := 0
+	for i, r := range *q {
+		b := &ch.banks[r.bank]
+		if b.readyAt > now {
+			continue
+		}
+		if ch.refreshEnd(r.bank, now) > now {
+			ch.stats.RefreshStallEvents++
+			continue
+		}
+		if oldest == nil {
+			oldest, oldestIdx = r, i
+		}
+		if ch.rowStateAt(b, r.row, now) == rowHit {
+			if bypassed <= ch.cfg.FRFCFSCap {
+				return q, r, i
+			}
+			continue
+		}
+		bypassed++
+	}
+	return q, oldest, oldestIdx
+}
+
+func removeAt(q *[]*Request, i int) {
+	*q = append((*q)[:i], (*q)[i+1:]...)
+}
+
+// schedule issues as many requests as possible at the current time, then
+// arranges a wake-up for the earliest future opportunity if work remains.
+func (ch *Channel) schedule() {
+	now := ch.eng.Now()
+	for {
+		q, r, idx := ch.pick(now)
+		if r == nil {
+			break
+		}
+		removeAt(q, idx)
+		ch.issue(r, now)
+	}
+	ch.armWake()
+}
+
+func (ch *Channel) issue(r *Request, now event.Time) {
+	b := &ch.banks[r.bank]
+	st := ch.rowStateAt(b, r.row, now)
+	switch st {
+	case rowHit:
+		ch.stats.RowHits++
+	case rowClosed:
+		ch.stats.RowMisses++
+	default:
+		ch.stats.RowConflicts++
+	}
+	dataStart := now + ch.accessLatency(st)
+	if dataStart < ch.busFree {
+		dataStart = ch.busFree
+	}
+	dataEnd := dataStart + ch.cfg.BurstTime
+	ch.busFree = dataEnd
+	b.openRow = r.row
+	b.rowValid = true
+	b.readyAt = dataEnd
+	b.lastUse = dataEnd
+
+	ch.stats.BusBusy += ch.cfg.BurstTime
+	ch.stats.BusBusyByKind[r.Kind] += ch.cfg.BurstTime
+	ch.stats.RequestsByKind[r.Kind]++
+	if r.Write {
+		ch.stats.Writes++
+	} else {
+		ch.stats.Reads++
+		ch.stats.TotalReadLatency += dataEnd - r.enqueued
+	}
+
+	ch.inflight++
+	ch.eng.Schedule(dataEnd, func() {
+		ch.inflight--
+		if r.OnComplete != nil {
+			r.OnComplete(dataEnd)
+		}
+		ch.schedule()
+	})
+}
+
+// wakeQuantum bounds how often an otherwise-idle channel re-examines a
+// blocked queue (requests stuck behind a refresh window or behind the
+// scheduler's queue-priority choice). A couple of nanoseconds keeps the
+// issue-time error negligible against tRFC = 350 ns while preventing
+// event-storm self-polling.
+const wakeQuantum = 2 * event.Nanosecond
+
+// armWake schedules a scheduler wake-up when requests are pending but no
+// in-flight completion will retrigger us (e.g. everything blocked on
+// refresh, or the served queue empty while the other holds work).
+func (ch *Channel) armWake() {
+	if ch.inflight > 0 || (len(ch.readQ) == 0 && len(ch.writeQ) == 0) {
+		return
+	}
+	now := ch.eng.Now()
+	if ch.wakeAt > now {
+		return // a wake is already armed
+	}
+	next := now + wakeQuantum
+	ch.wakeAt = next
+	ch.eng.Schedule(next, func() {
+		if ch.wakeAt == next {
+			ch.wakeAt = 0
+		}
+		ch.schedule()
+	})
+}

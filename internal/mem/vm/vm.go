@@ -1,0 +1,84 @@
+// Package vm translates the virtual addresses workloads emit into the
+// simulated physical address space, with demand paging onto randomly placed
+// physical pages.
+//
+// Page size matters to this paper twice: the TLB characterization
+// (Figure 4: 4 KB vs 2 MB pages) and Morphable Counters' reliance on
+// physically contiguous 8 KB regions — under 4 KB pages the OS may map
+// adjacent virtual pages far apart, splitting one counter block's coverage
+// across two (§III). All main experiments run under 2 MB huge pages, like
+// the paper's.
+package vm
+
+import (
+	"fmt"
+
+	"rmcc/internal/rng"
+)
+
+// Mapper is a demand-paging virtual→physical translator.
+type Mapper struct {
+	pageBytes uint64
+	pageShift uint
+	table     map[uint64]uint64 // vpage -> ppage
+	freePages []uint64          // shuffled physical page numbers
+	nextFree  int
+	physBytes uint64
+}
+
+// New builds a mapper over physBytes of physical memory with the given
+// page size. Physical pages are handed out in a seeded random order,
+// modeling long-uptime allocator fragmentation.
+func New(physBytes, pageBytes uint64, seed uint64) *Mapper {
+	if pageBytes == 0 || pageBytes&(pageBytes-1) != 0 {
+		panic(fmt.Sprintf("vm: page size %d not a power of two", pageBytes))
+	}
+	if physBytes%pageBytes != 0 {
+		panic(fmt.Sprintf("vm: phys size %d not page aligned", physBytes))
+	}
+	shift := uint(0)
+	for 1<<shift != pageBytes {
+		shift++
+	}
+	n := physBytes / pageBytes
+	free := make([]uint64, n)
+	for i := range free {
+		free[i] = uint64(i)
+	}
+	r := rng.New(seed)
+	r.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	return &Mapper{
+		pageBytes: pageBytes,
+		pageShift: shift,
+		table:     make(map[uint64]uint64),
+		freePages: free,
+		physBytes: physBytes,
+	}
+}
+
+// PageBytes returns the page size.
+func (m *Mapper) PageBytes() uint64 { return m.pageBytes }
+
+// PhysBytes returns the physical memory size.
+func (m *Mapper) PhysBytes() uint64 { return m.physBytes }
+
+// MappedPages returns the number of pages allocated so far.
+func (m *Mapper) MappedPages() int { return len(m.table) }
+
+// Translate maps a virtual address to its physical address, allocating a
+// physical page on first touch. It panics when physical memory is
+// exhausted: experiments must size memory above the workload footprint.
+func (m *Mapper) Translate(vaddr uint64) uint64 {
+	vpage := vaddr >> m.pageShift
+	ppage, ok := m.table[vpage]
+	if !ok {
+		if m.nextFree >= len(m.freePages) {
+			panic(fmt.Sprintf("vm: out of physical memory after %d pages of %d bytes",
+				len(m.freePages), m.pageBytes))
+		}
+		ppage = m.freePages[m.nextFree]
+		m.nextFree++
+		m.table[vpage] = ppage
+	}
+	return ppage<<m.pageShift | (vaddr & (m.pageBytes - 1))
+}

@@ -1,0 +1,85 @@
+package vm
+
+import (
+	"testing"
+
+	"rmcc/internal/rng"
+)
+
+func TestTranslateStableAndAligned(t *testing.T) {
+	m := New(64<<20, 2<<20, 1)
+	a := m.Translate(0x12345678)
+	b := m.Translate(0x12345678)
+	if a != b {
+		t.Fatal("translation not stable")
+	}
+	if a&(2<<20-1) != 0x12345678&(2<<20-1) {
+		t.Fatal("page offset not preserved")
+	}
+}
+
+func TestDistinctPagesDistinctFrames(t *testing.T) {
+	m := New(64<<20, 4096, 2)
+	seen := make(map[uint64]bool)
+	for v := uint64(0); v < 1000; v++ {
+		p := m.Translate(v*4096) >> 12
+		if seen[p] {
+			t.Fatalf("frame %d reused", p)
+		}
+		seen[p] = true
+	}
+	if m.MappedPages() != 1000 {
+		t.Fatalf("mapped = %d", m.MappedPages())
+	}
+}
+
+func TestRandomPlacement(t *testing.T) {
+	m := New(64<<20, 4096, 3)
+	sequentialPairs := 0
+	prev := m.Translate(0) >> 12
+	for v := uint64(1); v < 512; v++ {
+		cur := m.Translate(v*4096) >> 12
+		if cur == prev+1 {
+			sequentialPairs++
+		}
+		prev = cur
+	}
+	// With shuffled frames, adjacent virtual pages should almost never
+	// land on adjacent physical frames.
+	if sequentialPairs > 16 {
+		t.Fatalf("placement too sequential: %d adjacent pairs", sequentialPairs)
+	}
+}
+
+func TestExhaustionPanics(t *testing.T) {
+	m := New(8192, 4096, 4)
+	m.Translate(0)
+	m.Translate(4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhaustion")
+		}
+	}()
+	m.Translate(8192)
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	m1 := New(32<<20, 4096, 77)
+	m2 := New(32<<20, 4096, 77)
+	r := rng.New(5)
+	for i := 0; i < 2000; i++ {
+		v := r.Uint64n(16 << 20)
+		if m1.Translate(v) != m2.Translate(v) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two page")
+		}
+	}()
+	New(1<<20, 3000, 1)
+}

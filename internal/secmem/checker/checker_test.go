@@ -1,0 +1,91 @@
+package checker
+
+import (
+	"testing"
+
+	"rmcc/internal/rng"
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+)
+
+func newMC(t *testing.T, mode engine.Mode) *engine.MC {
+	t.Helper()
+	cfg := engine.DefaultConfig(mode, counter.Morphable, 16<<20)
+	cfg.TrackContents = true
+	cfg.L0Table.EpochAccesses = 10_000
+	cfg.L1Table.EpochAccesses = 10_000
+	return engine.New(cfg)
+}
+
+func TestCleanRunHasNoViolations(t *testing.T) {
+	for _, mode := range []engine.Mode{engine.Baseline, engine.RMCC} {
+		mc := newMC(t, mode)
+		ck := New(mc, 7)
+		r := rng.New(11)
+		for n := 0; n < 20000; n++ {
+			addr := r.Uint64n(16<<20) &^ 63
+			if n%3 == 0 {
+				mc.Write(addr)
+			} else {
+				mc.Read(addr)
+			}
+			mc.OnEpochAccess()
+			if n%2000 == 0 {
+				ck.Check()
+			}
+		}
+		ck.Check()
+		if !ck.Ok() {
+			t.Fatalf("%v: violations: %v", mode, ck.Violations())
+		}
+	}
+}
+
+func TestDetectsTamper(t *testing.T) {
+	mc := newMC(t, engine.Baseline)
+	ck := New(mc, 1)
+	mc.Read(0x2000)
+	mc.TamperCiphertext(mc.Store().DataBlockIndex(0x2000))
+	mc.Read(0x2000)
+	ck.Check()
+	if ck.Ok() {
+		t.Fatal("checker missed the MAC failure")
+	}
+}
+
+func TestDetectsReplay(t *testing.T) {
+	mc := newMC(t, engine.RMCC)
+	ck := New(mc, 1)
+	mc.Read(0x4000)
+	i := mc.Store().DataBlockIndex(0x4000)
+	ct, mac := mc.SnapshotCiphertext(i)
+	mc.Write(0x4000)
+	mc.ReplayOldCiphertext(i, ct, mac)
+	mc.Read(0x4000)
+	ck.Check()
+	if ck.Ok() {
+		t.Fatal("checker missed the replay")
+	}
+}
+
+func TestNonSecureIsVacuouslyOk(t *testing.T) {
+	mc := engine.New(engine.DefaultConfig(engine.NonSecure, counter.Morphable, 1<<20))
+	ck := New(mc, 1)
+	mc.Read(0)
+	mc.Write(64)
+	ck.Check()
+	if !ck.Ok() {
+		t.Fatalf("non-secure violations: %v", ck.Violations())
+	}
+}
+
+func TestStrideBoundsTracking(t *testing.T) {
+	mc := newMC(t, engine.Baseline)
+	ck := New(mc, 1000)
+	if len(ck.last) == 0 {
+		t.Fatal("no blocks sampled")
+	}
+	if len(ck.last) > mc.Store().NumDataBlocks()/1000+1 {
+		t.Fatalf("sampled %d blocks with stride 1000", len(ck.last))
+	}
+}

@@ -1,0 +1,575 @@
+// Package counter models the write-counter organizations that secure-memory
+// systems use, together with the integrity-tree counter state:
+//
+//   - SGX: eight full 56-bit counters per 64 B counter block (coverage 8).
+//   - SC-64 [Yan et al., ISCA'06]: one shared 64-bit major counter plus 64
+//     seven-bit minor counters per block (coverage 64). A write that cannot
+//     be encoded overflows: every counter in the block is raised to the
+//     maximum encoded value and all covered data blocks are re-encrypted.
+//   - Morphable [Saileshwar et al., MICRO'18]: coverage 128. Our morphable
+//     encoding keeps the scheme's essential behaviour with two formats the
+//     block "morphs" between — a uniform format (128 × 3-bit minors) and a
+//     zero-counter-compressed format (up to 30 ⟨index, 7-bit minor⟩
+//     exceptions above the shared base). A write encodable under either
+//     format is cheap; otherwise the block overflows like SC-64. (The
+//     original paper uses a richer format menu; the coverage, decode
+//     latency, and overflow dynamics — which are what the evaluation
+//     exercises — are preserved. See DESIGN.md §3.)
+//
+// The package is the functional ground truth: every data block's true
+// counter value, every tree node's counter values, encodability checks, and
+// relevel (overflow) execution. Policy — what value a counter moves to on a
+// write — belongs to the engine and the RMCC core, not here.
+package counter
+
+import (
+	"fmt"
+
+	"rmcc/internal/rng"
+)
+
+// Scheme selects a counter organization.
+type Scheme int
+
+// Counter organizations.
+const (
+	SGX Scheme = iota
+	SC64
+	Morphable
+)
+
+// String names the scheme as the paper's figures label it.
+func (s Scheme) String() string {
+	switch s {
+	case SGX:
+		return "SGX"
+	case SC64:
+		return "SC-64"
+	case Morphable:
+		return "Morphable"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Coverage returns the number of 64 B data blocks one counter block covers.
+func (s Scheme) Coverage() int {
+	switch s {
+	case SGX:
+		return 8
+	case SC64:
+		return 64
+	case Morphable:
+		return 128
+	default:
+		return 0
+	}
+}
+
+// TreeArity returns the number of child blocks covered by one integrity
+// tree node at levels 1 and above.
+func (s Scheme) TreeArity() int {
+	switch s {
+	case SGX:
+		return 8
+	case SC64:
+		return 64
+	case Morphable:
+		return 128
+	default:
+		return 0
+	}
+}
+
+// Encoding limits for the split-counter formats.
+const (
+	sc64MinorRange     = 127 // 7-bit minors
+	morphUniformRange  = 7   // 128 x 3-bit minors
+	morphZCCRange      = 127 // 7-bit exception minors
+	morphZCCMaxNonBase = 30  // exception slots in the ZCC format
+	treeMinorRange     = 127 // 7-bit minors at tree levels
+	// MaxCounter is the architectural 56-bit counter ceiling; reaching it
+	// forces a whole-memory re-key (the paper's "reboot").
+	MaxCounter = (uint64(1) << 56) - 1
+)
+
+// BlockBytes is the size of a memory block and of a counter block.
+const BlockBytes = 64
+
+// Store holds all counter state for one protected physical memory.
+//
+// Address map (block-granular, byte addresses):
+//
+//	[0, dataBytes)            data blocks
+//	[ctrBase, ...)            L0 counter blocks, one per Coverage() data blocks
+//	[treeBase[l], ...)        tree nodes for level l >= 1
+//
+// tree[1][j] is the counter protecting L0 counter block j; tree[l][k]
+// protects level-(l-1) node k. The root level's counters live on-chip and
+// need no protection.
+type Store struct {
+	scheme      Scheme
+	nBlocks     int // data blocks
+	coverage    int
+	arity       int
+	vals        []uint64   // per data block true counter value
+	tree        [][]uint64 // tree[l] for l >= 1; index = child block/node id
+	ctrBase     uint64
+	treeBase    []uint64 // base address per tree level (index 1..)
+	observedMax uint64   // largest data counter ever set (§IV-D2 register)
+
+	// Overflows counts relevel events per level (0 = data/L0 groups).
+	Overflows []uint64
+}
+
+// NewStore builds counter state for dataBytes of protected memory. The tree
+// is built until a level has at most arity entries (that level's counters
+// are the on-chip root). It panics if dataBytes is not block-aligned.
+func NewStore(scheme Scheme, dataBytes uint64) *Store {
+	if dataBytes == 0 || dataBytes%BlockBytes != 0 {
+		panic(fmt.Sprintf("counter: dataBytes %d not a positive multiple of %d", dataBytes, BlockBytes))
+	}
+	n := int(dataBytes / BlockBytes)
+	s := &Store{
+		scheme:   scheme,
+		nBlocks:  n,
+		coverage: scheme.Coverage(),
+		arity:    scheme.TreeArity(),
+		vals:     make([]uint64, n),
+	}
+	s.ctrBase = dataBytes
+	// Build tree level sizes: level 1 has one counter per L0 counter
+	// block; level l has one counter per level-(l-1) node.
+	numL0 := (n + s.coverage - 1) / s.coverage
+	s.tree = append(s.tree, nil) // level 0 placeholder
+	s.treeBase = append(s.treeBase, 0)
+	childCount := numL0
+	addr := s.ctrBase + uint64(numL0)*BlockBytes
+	for childCount > 1 {
+		s.tree = append(s.tree, make([]uint64, childCount))
+		s.treeBase = append(s.treeBase, addr)
+		nodes := (childCount + s.arity - 1) / s.arity
+		addr += uint64(nodes) * BlockBytes
+		if nodes <= 1 {
+			break
+		}
+		childCount = nodes
+	}
+	s.Overflows = make([]uint64, len(s.tree)+1)
+	return s
+}
+
+// Scheme returns the counter organization.
+func (s *Store) Scheme() Scheme { return s.scheme }
+
+// NumDataBlocks returns the number of protected data blocks.
+func (s *Store) NumDataBlocks() int { return s.nBlocks }
+
+// NumL0Blocks returns the number of L0 counter blocks.
+func (s *Store) NumL0Blocks() int {
+	return (s.nBlocks + s.coverage - 1) / s.coverage
+}
+
+// Levels returns the number of tree levels above L0 (root excluded from
+// fetch traffic: its counters are on-chip).
+func (s *Store) Levels() int { return len(s.tree) - 1 }
+
+// Coverage returns data blocks per L0 counter block.
+func (s *Store) Coverage() int { return s.coverage }
+
+// ObservedMax returns the Observed-System-Max register (§IV-D2): the
+// largest counter value any data block has ever held.
+func (s *Store) ObservedMax() uint64 { return s.observedMax }
+
+// --- Address mapping ---
+
+// DataBlockIndex converts a data byte address to its block index.
+func (s *Store) DataBlockIndex(addr uint64) int { return int(addr / BlockBytes) }
+
+// DataBlockAddr returns the byte address of data block i.
+func (s *Store) DataBlockAddr(i int) uint64 { return uint64(i) * BlockBytes }
+
+// L0Index returns the L0 counter block index covering data block i.
+func (s *Store) L0Index(i int) int { return i / s.coverage }
+
+// L0BlockAddr returns the byte address of L0 counter block j.
+func (s *Store) L0BlockAddr(j int) uint64 { return s.ctrBase + uint64(j)*BlockBytes }
+
+// TreeNodeIndex returns the level-l node holding the counter of child c,
+// where c is an L0 block index for l==1 or a level-(l-1) node index
+// otherwise.
+func (s *Store) TreeNodeIndex(c int) int { return c / s.arity }
+
+// TreeNodeAddr returns the byte address of node k at tree level l (l >= 1).
+// The level above the last stored level is the on-chip root; callers must
+// not ask for its address.
+func (s *Store) TreeNodeAddr(l, k int) uint64 {
+	return s.treeBase[l] + uint64(k)*BlockBytes
+}
+
+// ClassifyAddr resolves a metadata byte address back to its block: level 0
+// with the L0 counter-block index, or level >= 1 with the tree-node index.
+// ok is false for data addresses and addresses beyond the metadata region.
+func (s *Store) ClassifyAddr(addr uint64) (level, idx int, ok bool) {
+	if addr < s.ctrBase {
+		return 0, 0, false
+	}
+	numL0 := s.NumL0Blocks()
+	if addr < s.ctrBase+uint64(numL0)*BlockBytes {
+		return 0, int((addr - s.ctrBase) / BlockBytes), true
+	}
+	for l := 1; l <= s.Levels(); l++ {
+		nodes := (len(s.tree[l]) + s.arity - 1) / s.arity
+		base := s.treeBase[l]
+		if addr >= base && addr < base+uint64(nodes)*BlockBytes {
+			return l, int((addr - base) / BlockBytes), true
+		}
+	}
+	return 0, 0, false
+}
+
+// TreeLevelLen returns the number of child counters stored at level l.
+func (s *Store) TreeLevelLen(l int) int { return len(s.tree[l]) }
+
+// --- Data (L0) counters ---
+
+// DataCounter returns the current counter value of data block i.
+func (s *Store) DataCounter(i int) uint64 { return s.vals[i] }
+
+// GroupRange returns the [start, end) data block indices covered by L0
+// counter block j.
+func (s *Store) GroupRange(j int) (start, end int) {
+	start = j * s.coverage
+	end = start + s.coverage
+	if end > s.nBlocks {
+		end = s.nBlocks
+	}
+	return start, end
+}
+
+// GroupValues returns a snapshot of the counter values in L0 group j.
+func (s *Store) GroupValues(j int) []uint64 {
+	start, end := s.GroupRange(j)
+	out := make([]uint64, end-start)
+	copy(out, s.vals[start:end])
+	return out
+}
+
+// groupMinMax scans group j, optionally substituting newVal for block i.
+func (s *Store) groupMinMax(j, i int, newVal uint64, substitute bool) (min, max uint64, nonBase int) {
+	start, end := s.GroupRange(j)
+	first := true
+	for b := start; b < end; b++ {
+		v := s.vals[b]
+		if substitute && b == i {
+			v = newVal
+		}
+		if first {
+			min, max = v, v
+			first = false
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	// Count values above the base (needed for the ZCC format check).
+	for b := start; b < end; b++ {
+		v := s.vals[b]
+		if substitute && b == i {
+			v = newVal
+		}
+		if v > min {
+			nonBase++
+		}
+	}
+	return min, max, nonBase
+}
+
+// CanEncodeData reports whether setting data block i to newVal keeps its L0
+// group encodable without an overflow.
+func (s *Store) CanEncodeData(i int, newVal uint64) bool {
+	if newVal > MaxCounter {
+		return false
+	}
+	switch s.scheme {
+	case SGX:
+		return true
+	case SC64:
+		min, max, _ := s.groupMinMax(s.L0Index(i), i, newVal, true)
+		return max-min <= sc64MinorRange
+	case Morphable:
+		min, max, nonBase := s.groupMinMax(s.L0Index(i), i, newVal, true)
+		if max-min <= morphUniformRange {
+			return true // uniform 128 x 3b format
+		}
+		return max-min <= morphZCCRange && nonBase <= morphZCCMaxNonBase
+	default:
+		return false
+	}
+}
+
+// SetDataCounter sets data block i's counter to newVal. The caller must
+// ensure the value increases and (unless immediately releveling) stays
+// encodable. Panics on a non-increasing value: reusing or rewinding a
+// counter is a security violation the simulator must never commit.
+func (s *Store) SetDataCounter(i int, newVal uint64) {
+	if newVal <= s.vals[i] {
+		panic(fmt.Sprintf("counter: non-increasing update for block %d: %d -> %d", i, s.vals[i], newVal))
+	}
+	s.vals[i] = newVal
+	if newVal > s.observedMax {
+		s.observedMax = newVal
+	}
+}
+
+// RelevelData executes an L0 overflow for the group of data block i: every
+// block in the group takes the value target, which must exceed the group's
+// current maximum. It returns the data block indices that must be
+// re-encrypted and written back (all blocks in the group).
+func (s *Store) RelevelData(i int, target uint64) []int {
+	j := s.L0Index(i)
+	start, end := s.GroupRange(j)
+	for b := start; b < end; b++ {
+		if target <= s.vals[b] {
+			panic(fmt.Sprintf("counter: relevel target %d not above block %d value %d", target, b, s.vals[b]))
+		}
+	}
+	blocks := make([]int, 0, end-start)
+	for b := start; b < end; b++ {
+		s.vals[b] = target
+		blocks = append(blocks, b)
+	}
+	if target > s.observedMax {
+		s.observedMax = target
+	}
+	s.Overflows[0]++
+	return blocks
+}
+
+// --- Tree counters ---
+
+// TreeCounter returns the counter at level l protecting child c.
+func (s *Store) TreeCounter(l, c int) uint64 { return s.tree[l][c] }
+
+// treeGroupRange returns the [start, end) child indices stored in the same
+// level-l node as child c.
+func (s *Store) treeGroupRange(l, c int) (start, end int) {
+	start = (c / s.arity) * s.arity
+	end = start + s.arity
+	if end > len(s.tree[l]) {
+		end = len(s.tree[l])
+	}
+	return start, end
+}
+
+// CanEncodeTree reports whether bumping level-l child c to newVal keeps its
+// node encodable (7-bit split minors at tree levels; SGX trees never
+// overflow below the 56-bit ceiling).
+func (s *Store) CanEncodeTree(l, c int, newVal uint64) bool {
+	if newVal > MaxCounter {
+		return false
+	}
+	if s.scheme == SGX {
+		return true
+	}
+	start, end := s.treeGroupRange(l, c)
+	var min, max uint64
+	first := true
+	for x := start; x < end; x++ {
+		v := s.tree[l][x]
+		if x == c {
+			v = newVal
+		}
+		if first {
+			min, max = v, v
+			first = false
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max-min <= treeMinorRange
+}
+
+// SetTreeCounter sets level-l child c's counter; it panics on decrease.
+func (s *Store) SetTreeCounter(l, c int, newVal uint64) {
+	if newVal <= s.tree[l][c] {
+		panic(fmt.Sprintf("counter: non-increasing tree update l%d c%d: %d -> %d",
+			l, c, s.tree[l][c], newVal))
+	}
+	s.tree[l][c] = newVal
+}
+
+// RelevelTree executes an overflow of the level-l node containing child c:
+// all children take target. It returns the child indices whose blocks must
+// be re-MACed and written back.
+func (s *Store) RelevelTree(l, c int, target uint64) []int {
+	start, end := s.treeGroupRange(l, c)
+	for x := start; x < end; x++ {
+		if target <= s.tree[l][x] {
+			panic(fmt.Sprintf("counter: tree relevel target %d not above child %d value %d",
+				target, x, s.tree[l][x]))
+		}
+	}
+	children := make([]int, 0, end-start)
+	for x := start; x < end; x++ {
+		s.tree[l][x] = target
+		children = append(children, x)
+	}
+	if l < len(s.Overflows) {
+		s.Overflows[l]++
+	}
+	return children
+}
+
+// --- Initialization ---
+
+// RandomizeOptions controls counter randomization (the paper's careful
+// non-zero initialization, §V "Lifetime Characterization").
+type RandomizeOptions struct {
+	// BaseLo/BaseHi bound each group's shared base value.
+	BaseLo, BaseHi uint64
+	// SpreadFrac is the fraction of blocks per group nudged above the
+	// base (kept within the scheme's encodable range).
+	SpreadFrac float64
+}
+
+// DefaultRandomize mirrors the paper's initializer: an average of ~100 000
+// writebacks per block under the baseline policy leaves each group at a
+// large, group-specific base — every split-counter group that reaches such
+// values has been releveled many times, which *synchronizes* its values —
+// with only a small spread of post-relevel writes above the base.
+func DefaultRandomize() RandomizeOptions {
+	return RandomizeOptions{BaseLo: 50_000, BaseHi: 200_000, SpreadFrac: 0.06}
+}
+
+// WarmSnap rebases a fraction of L0 groups onto the given base values,
+// preserving each group's internal offsets. It models the steady state of
+// a long-running RMCC system: the memoization-aware update has releveled
+// most groups onto memoized counter values (see §IV-B; convergence itself
+// is exercised by the organic-convergence experiment). Must be called
+// after Randomize and before any accesses.
+func (s *Store) WarmSnap(r *rng.Source, bases []uint64, frac float64) {
+	if len(bases) == 0 {
+		return
+	}
+	for j := 0; j < s.NumL0Blocks(); j++ {
+		if r.Float64() >= frac {
+			continue
+		}
+		start, end := s.GroupRange(j)
+		min := s.vals[start]
+		for b := start; b < end; b++ {
+			if s.vals[b] < min {
+				min = s.vals[b]
+			}
+		}
+		base := bases[r.Intn(len(bases))]
+		for b := start; b < end; b++ {
+			v := base + (s.vals[b] - min)
+			s.vals[b] = v
+			if v > s.observedMax {
+				s.observedMax = v
+			}
+		}
+	}
+}
+
+// WarmSnapTree rebases a fraction of level-l tree node groups onto the
+// given bases, the tree analog of WarmSnap.
+func (s *Store) WarmSnapTree(r *rng.Source, l int, bases []uint64, frac float64) {
+	if len(bases) == 0 || l < 1 || l > s.Levels() {
+		return
+	}
+	for start := 0; start < len(s.tree[l]); start += s.arity {
+		if r.Float64() >= frac {
+			continue
+		}
+		end := start + s.arity
+		if end > len(s.tree[l]) {
+			end = len(s.tree[l])
+		}
+		min := s.tree[l][start]
+		for x := start; x < end; x++ {
+			if s.tree[l][x] < min {
+				min = s.tree[l][x]
+			}
+		}
+		base := bases[r.Intn(len(bases))]
+		for x := start; x < end; x++ {
+			s.tree[l][x] = base + (s.tree[l][x] - min)
+		}
+	}
+}
+
+// Randomize initializes all data and tree counters per opts. The resulting
+// state is always encodable (no immediate overflows). The observed-max
+// register is updated to the largest value produced.
+func (s *Store) Randomize(r *rng.Source, opts RandomizeOptions) {
+	span := opts.BaseHi - opts.BaseLo
+	if span == 0 {
+		span = 1
+	}
+	// Leave generous headroom so the randomized state is a realistic
+	// recently-releveled group, not one teetering on its encoding limit:
+	// otherwise the first few writes of every run trigger an unphysical
+	// storm of "healing" overflows.
+	spreadRange := uint64(2)
+	if s.scheme == SC64 {
+		spreadRange = sc64MinorRange / 2
+	}
+	if s.scheme == SGX {
+		spreadRange = 1024
+	}
+	// Bound the number of above-base values per Morphable group so the
+	// randomized state always stays ZCC-encodable even after a +1 write.
+	maxNudges := int(^uint(0) >> 1)
+	if s.scheme == Morphable {
+		maxNudges = 8
+	}
+	for j := 0; j < s.NumL0Blocks(); j++ {
+		base := opts.BaseLo + r.Uint64n(span)
+		start, end := s.GroupRange(j)
+		nudges := 0
+		for b := start; b < end; b++ {
+			v := base
+			if nudges < maxNudges && r.Float64() < opts.SpreadFrac {
+				v += r.Uint64n(spreadRange + 1)
+				if v != base {
+					nudges++
+				}
+			}
+			s.vals[b] = v
+			if v > s.observedMax {
+				s.observedMax = v
+			}
+		}
+	}
+	for l := 1; l <= s.Levels(); l++ {
+		for start := 0; start < len(s.tree[l]); start += s.arity {
+			end := start + s.arity
+			if end > len(s.tree[l]) {
+				end = len(s.tree[l])
+			}
+			base := opts.BaseLo / 8
+			if span > 0 {
+				base += r.Uint64n(span/8 + 1)
+			}
+			for x := start; x < end; x++ {
+				v := base
+				if r.Float64() < opts.SpreadFrac {
+					v += r.Uint64n(treeMinorRange / 4)
+				}
+				s.tree[l][x] = v
+			}
+		}
+	}
+}

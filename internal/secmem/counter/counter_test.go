@@ -1,0 +1,276 @@
+package counter
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmcc/internal/rng"
+)
+
+func TestCoverageAndArity(t *testing.T) {
+	cases := []struct {
+		s        Scheme
+		coverage int
+		arity    int
+	}{
+		{SGX, 8, 8},
+		{SC64, 64, 64},
+		{Morphable, 128, 128},
+	}
+	for _, c := range cases {
+		if got := c.s.Coverage(); got != c.coverage {
+			t.Errorf("%v coverage = %d, want %d", c.s, got, c.coverage)
+		}
+		if got := c.s.TreeArity(); got != c.arity {
+			t.Errorf("%v arity = %d, want %d", c.s, got, c.arity)
+		}
+	}
+}
+
+func TestStoreGeometry(t *testing.T) {
+	// 1 MiB of data = 16384 blocks; Morphable: 128 L0 blocks; L1: 1 node.
+	s := NewStore(Morphable, 1<<20)
+	if s.NumDataBlocks() != 16384 {
+		t.Fatalf("blocks = %d", s.NumDataBlocks())
+	}
+	if s.NumL0Blocks() != 128 {
+		t.Fatalf("L0 blocks = %d", s.NumL0Blocks())
+	}
+	if s.Levels() != 1 {
+		t.Fatalf("levels = %d, want 1 (root on-chip)", s.Levels())
+	}
+}
+
+func TestStoreGeometryDeepTree(t *testing.T) {
+	// 256 MiB under Morphable: 4M blocks, 32768 L0, 256 L1, 2 L2 -> root.
+	s := NewStore(Morphable, 256<<20)
+	if s.NumL0Blocks() != 32768 {
+		t.Fatalf("L0 = %d", s.NumL0Blocks())
+	}
+	if s.Levels() != 3 {
+		t.Fatalf("levels = %d, want 3", s.Levels())
+	}
+}
+
+func TestAddressMapDisjoint(t *testing.T) {
+	s := NewStore(SC64, 1<<20)
+	dataEnd := s.DataBlockAddr(s.NumDataBlocks()-1) + BlockBytes
+	if s.L0BlockAddr(0) < dataEnd {
+		t.Fatal("L0 region overlaps data")
+	}
+	l0End := s.L0BlockAddr(s.NumL0Blocks()-1) + BlockBytes
+	if s.Levels() >= 1 && s.TreeNodeAddr(1, 0) < l0End {
+		t.Fatal("tree region overlaps L0")
+	}
+}
+
+func TestL0IndexRoundTrip(t *testing.T) {
+	s := NewStore(Morphable, 1<<20)
+	f := func(raw uint32) bool {
+		i := int(raw) % s.NumDataBlocks()
+		j := s.L0Index(i)
+		start, end := s.GroupRange(j)
+		return start <= i && i < end && (end-start) <= s.Coverage()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSGXAlwaysEncodable(t *testing.T) {
+	s := NewStore(SGX, 1<<16)
+	if !s.CanEncodeData(0, 1<<40) {
+		t.Fatal("SGX rejected a large but sub-56-bit value")
+	}
+	if s.CanEncodeData(0, MaxCounter+1) {
+		t.Fatal("value above 56-bit ceiling accepted")
+	}
+}
+
+func TestSC64EncodableRange(t *testing.T) {
+	s := NewStore(SC64, 1<<20)
+	// Group 0 all at zero: value 127 encodable, 128 not.
+	if !s.CanEncodeData(0, 127) {
+		t.Fatal("127 should be encodable with 7-bit minors")
+	}
+	if s.CanEncodeData(0, 128) {
+		t.Fatal("128 should overflow 7-bit minors")
+	}
+}
+
+func TestMorphableFormats(t *testing.T) {
+	s := NewStore(Morphable, 1<<20)
+	// Uniform format: spread <= 7.
+	if !s.CanEncodeData(0, 7) {
+		t.Fatal("spread 7 should fit the uniform format")
+	}
+	// Beyond uniform: ZCC carries one exception up to 127.
+	if !s.CanEncodeData(0, 127) {
+		t.Fatal("single 127 exception should fit ZCC")
+	}
+	if s.CanEncodeData(0, 128) {
+		t.Fatal("128 exceeds both formats")
+	}
+}
+
+func TestMorphableZCCExceptionLimit(t *testing.T) {
+	s := NewStore(Morphable, 1<<20)
+	for b := 0; b < 30; b++ {
+		s.SetDataCounter(b, 100)
+	}
+	// 30 exceptions at 100 (base 0): encodable.
+	if !s.CanEncodeData(29, 101) {
+		t.Fatal("30 exceptions should be encodable under ZCC")
+	}
+	// Making a 31st block non-base with spread > uniform must overflow.
+	if s.CanEncodeData(30, 100) {
+		t.Fatal("31st ZCC exception unexpectedly encodable")
+	}
+	// But if all values collapse into a spread <= 7, uniform rescues it.
+	s2 := NewStore(Morphable, 1<<20)
+	for b := 0; b < 127; b++ {
+		s2.SetDataCounter(b, 5)
+	}
+	if !s2.CanEncodeData(127, 6) {
+		t.Fatal("uniform format should encode spread 6 regardless of exception count")
+	}
+}
+
+func TestSetDataCounterMonotone(t *testing.T) {
+	s := NewStore(SC64, 1<<16)
+	s.SetDataCounter(3, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing update did not panic")
+		}
+	}()
+	s.SetDataCounter(3, 10)
+}
+
+func TestRelevelData(t *testing.T) {
+	s := NewStore(SC64, 1<<20)
+	s.SetDataCounter(0, 100)
+	s.SetDataCounter(1, 50)
+	blocks := s.RelevelData(0, 128)
+	if len(blocks) != 64 {
+		t.Fatalf("relevel touched %d blocks, want 64", len(blocks))
+	}
+	start, end := s.GroupRange(0)
+	for b := start; b < end; b++ {
+		if s.DataCounter(b) != 128 {
+			t.Fatalf("block %d = %d after relevel", b, s.DataCounter(b))
+		}
+	}
+	if s.Overflows[0] != 1 {
+		t.Fatalf("overflow count = %d", s.Overflows[0])
+	}
+	// Neighboring group untouched.
+	if s.DataCounter(end) != 0 {
+		t.Fatal("relevel leaked into the next group")
+	}
+}
+
+func TestRelevelRejectsLowTarget(t *testing.T) {
+	s := NewStore(SC64, 1<<20)
+	s.SetDataCounter(0, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("relevel below max did not panic")
+		}
+	}()
+	s.RelevelData(1, 100)
+}
+
+func TestObservedMaxTracksUpdates(t *testing.T) {
+	s := NewStore(Morphable, 1<<20)
+	s.SetDataCounter(0, 7)
+	if s.ObservedMax() != 7 {
+		t.Fatalf("observedMax = %d", s.ObservedMax())
+	}
+	s.RelevelData(200, 500)
+	if s.ObservedMax() != 500 {
+		t.Fatalf("observedMax after relevel = %d", s.ObservedMax())
+	}
+}
+
+func TestTreeEncodeAndRelevel(t *testing.T) {
+	s := NewStore(Morphable, 256<<20)
+	if !s.CanEncodeTree(1, 0, 127) {
+		t.Fatal("tree minor 127 should encode")
+	}
+	if s.CanEncodeTree(1, 0, 128) {
+		t.Fatal("tree minor 128 should overflow")
+	}
+	s.SetTreeCounter(1, 0, 100)
+	children := s.RelevelTree(1, 0, 200)
+	if len(children) != 128 {
+		t.Fatalf("tree relevel touched %d children, want 128", len(children))
+	}
+	if s.TreeCounter(1, 5) != 200 {
+		t.Fatal("sibling counter not releveled")
+	}
+	if s.Overflows[1] != 1 {
+		t.Fatalf("tree overflow count = %v", s.Overflows)
+	}
+}
+
+func TestRandomizeEncodableEverywhere(t *testing.T) {
+	for _, scheme := range []Scheme{SGX, SC64, Morphable} {
+		s := NewStore(scheme, 4<<20)
+		s.Randomize(rng.New(42), DefaultRandomize())
+		// Every group must accept a +1 write to its max element (i.e. the
+		// randomized state itself is encodable with headroom).
+		for j := 0; j < s.NumL0Blocks(); j++ {
+			start, end := s.GroupRange(j)
+			maxIdx := start
+			for b := start; b < end; b++ {
+				if s.DataCounter(b) > s.DataCounter(maxIdx) {
+					maxIdx = b
+				}
+			}
+			if !s.CanEncodeData(maxIdx, s.DataCounter(maxIdx)+1) {
+				t.Fatalf("%v: group %d not encodable after randomize", scheme, j)
+			}
+		}
+		if s.ObservedMax() == 0 {
+			t.Fatalf("%v: observedMax not set", scheme)
+		}
+	}
+}
+
+func TestRandomizeGroupsDiverge(t *testing.T) {
+	s := NewStore(Morphable, 16<<20)
+	s.Randomize(rng.New(7), DefaultRandomize())
+	bases := make(map[uint64]bool)
+	for j := 0; j < s.NumL0Blocks(); j++ {
+		vals := s.GroupValues(j)
+		min := vals[0]
+		for _, v := range vals {
+			if v < min {
+				min = v
+			}
+		}
+		bases[min] = true
+	}
+	if len(bases) < s.NumL0Blocks()/4 {
+		t.Fatalf("group bases not diverse: %d distinct for %d groups", len(bases), s.NumL0Blocks())
+	}
+}
+
+func TestGroupValuesSnapshot(t *testing.T) {
+	s := NewStore(SGX, 1<<16)
+	v := s.GroupValues(0)
+	v[0] = 999
+	if s.DataCounter(0) == 999 {
+		t.Fatal("GroupValues aliases internal state")
+	}
+}
+
+func BenchmarkCanEncodeMorphable(b *testing.B) {
+	s := NewStore(Morphable, 64<<20)
+	s.Randomize(rng.New(1), DefaultRandomize())
+	for i := 0; i < b.N; i++ {
+		blk := (i * 7919) % s.NumDataBlocks()
+		s.CanEncodeData(blk, s.DataCounter(blk)+1)
+	}
+}

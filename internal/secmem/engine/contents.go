@@ -1,0 +1,126 @@
+package engine
+
+import "rmcc/internal/crypto/otp"
+
+// contentStore maintains a functional image of memory: the plaintext the
+// CPU believes is stored, the ciphertext actually in DRAM, and each block's
+// MAC. It lets integration tests prove the whole construction end to end —
+// every simulated read decrypts to the written plaintext and passes its MAC
+// check, including across relevel re-encryptions and counter jumps — and
+// lets tests inject tampering.
+type contentStore struct {
+	unit   *otp.Unit
+	plain  map[int][8]uint64
+	cipher map[int][8]uint64
+	macs   map[int]uint64
+	// version feeds deterministic plaintext generation per write.
+	version map[int]uint64
+}
+
+func newContentStore(unit *otp.Unit) *contentStore {
+	return &contentStore{
+		unit:    unit,
+		plain:   make(map[int][8]uint64),
+		cipher:  make(map[int][8]uint64),
+		macs:    make(map[int]uint64),
+		version: make(map[int]uint64),
+	}
+}
+
+// plaintextFor fabricates the block's logical contents: the workload layer
+// does not carry data values, so the image derives them deterministically
+// from the block index and write version.
+func plaintextFor(i int, version uint64) [8]uint64 {
+	var b [8]uint64
+	for w := range b {
+		x := uint64(i)*8 + uint64(w) + version*0x9e3779b97f4a7c15
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		b[w] = x
+	}
+	return b
+}
+
+func (cs *contentStore) seal(i int, ctr, addr uint64, plain [8]uint64) {
+	pad := cs.unit.RMCCPad(cs.unit.CounterOnly(ctr), addr)
+	ct := plain
+	pad.XorBlock(&ct)
+	cs.cipher[i] = ct
+	cs.macs[i] = cs.unit.BlockMAC(&ct, cs.unit.RMCCMacOTP(cs.unit.CounterOnly(ctr), addr))
+	cs.plain[i] = plain
+}
+
+// writeBlock encrypts fresh contents for block i under ctr.
+func (cs *contentStore) writeBlock(i int, ctr, addr uint64) {
+	cs.version[i]++
+	cs.seal(i, ctr, addr, plaintextFor(i, cs.version[i]))
+}
+
+// reencrypt re-seals the existing plaintext under a new counter (relevel or
+// read-triggered counter jump: contents unchanged, pad changes).
+func (cs *contentStore) reencrypt(i int, ctr, addr uint64) {
+	plain, ok := cs.plain[i]
+	if !ok {
+		// Never-touched block: materialize initial contents first.
+		plain = plaintextFor(i, 0)
+		cs.plain[i] = plain
+	}
+	cs.seal(i, ctr, addr, plain)
+}
+
+// verifyRead decrypts block i under ctr and checks plaintext and MAC.
+// Blocks never written are lazily installed (their DRAM image was sealed at
+// initialization under the randomized counter).
+func (cs *contentStore) verifyRead(i int, ctr, addr uint64) (plaintextOK, macOK bool) {
+	if _, ok := cs.cipher[i]; !ok {
+		cs.reencrypt(i, ctr, addr)
+	}
+	ct := cs.cipher[i]
+	pad := cs.unit.RMCCPad(cs.unit.CounterOnly(ctr), addr)
+	pt := ct
+	pad.XorBlock(&pt)
+	plaintextOK = pt == cs.plain[i]
+	mac := cs.unit.BlockMAC(&ct, cs.unit.RMCCMacOTP(cs.unit.CounterOnly(ctr), addr))
+	macOK = mac == cs.macs[i]
+	return plaintextOK, macOK
+}
+
+// TamperCiphertext flips bits in block i's stored ciphertext, simulating a
+// physical attack. The next read must fail its MAC check.
+func (mc *MC) TamperCiphertext(i int) {
+	if mc.contents == nil {
+		panic("engine: TamperCiphertext requires TrackContents")
+	}
+	if _, ok := mc.contents.cipher[i]; !ok {
+		mc.contents.reencrypt(i, mc.store.DataCounter(i), mc.store.DataBlockAddr(i))
+	}
+	ct := mc.contents.cipher[i]
+	ct[0] ^= 0xdeadbeef
+	mc.contents.cipher[i] = ct
+	// The recorded plaintext no longer matches either; keep it so the
+	// decrypt-mismatch counter also fires.
+}
+
+// ReplayOldCiphertext overwrites block i's DRAM image with a stale
+// (ciphertext, MAC) pair captured earlier, simulating a replay attack; the
+// counter has moved on, so the MAC check must fail.
+func (mc *MC) ReplayOldCiphertext(i int, oldCipher [8]uint64, oldMAC uint64) {
+	if mc.contents == nil {
+		panic("engine: ReplayOldCiphertext requires TrackContents")
+	}
+	mc.contents.cipher[i] = oldCipher
+	mc.contents.macs[i] = oldMAC
+}
+
+// SnapshotCiphertext captures block i's current DRAM image for replay
+// tests.
+func (mc *MC) SnapshotCiphertext(i int) ([8]uint64, uint64) {
+	if mc.contents == nil {
+		panic("engine: SnapshotCiphertext requires TrackContents")
+	}
+	if _, ok := mc.contents.cipher[i]; !ok {
+		mc.contents.reencrypt(i, mc.store.DataCounter(i), mc.store.DataBlockAddr(i))
+	}
+	return mc.contents.cipher[i], mc.contents.macs[i]
+}

@@ -1,0 +1,319 @@
+// Package engine implements the secure memory controller: encryption,
+// integrity verification, the MC counter cache, the integrity-tree walk,
+// overflow (relevel) handling, and — when enabled — the RMCC memoization
+// tables with their memoization-aware counter-update policy.
+//
+// The engine is *functional*: it decides what happens on each LLC miss
+// (which counter blocks hit or miss, which memoizations hit, what extra
+// traffic is generated) and keeps all counter and cache state. It carries
+// no clock. The lifetime simulator consumes its outcomes directly (the
+// Pintool analog); the detailed simulator converts each Outcome into DRAM
+// requests and latency composition (the Gem5 analog).
+package engine
+
+import (
+	"fmt"
+
+	"rmcc/internal/core"
+	"rmcc/internal/crypto/otp"
+	"rmcc/internal/mem/cache"
+	"rmcc/internal/mem/dram"
+	"rmcc/internal/rng"
+	"rmcc/internal/secmem/counter"
+)
+
+// Mode selects the protection level.
+type Mode int
+
+// Protection modes.
+const (
+	// NonSecure disables encryption and integrity entirely (the paper's
+	// normalization baseline).
+	NonSecure Mode = iota
+	// Baseline protects memory with the configured counter scheme and a
+	// counter cache, but no memoization.
+	Baseline
+	// RMCC adds the memoization tables and memoization-aware counter
+	// update on top of Baseline.
+	RMCC
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case NonSecure:
+		return "non-secure"
+	case Baseline:
+		return "baseline"
+	case RMCC:
+		return "RMCC"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the memory controller.
+type Config struct {
+	Mode   Mode
+	Scheme counter.Scheme
+	// MemBytes is the protected data footprint (block-aligned).
+	MemBytes uint64
+
+	// CounterCacheBytes/Ways size the MC counter cache (Table I: 128 KB,
+	// 32-way). It holds L0 counter blocks and integrity-tree nodes.
+	CounterCacheBytes int
+	CounterCacheWays  int
+
+	// L0Table and L1Table configure the two memoization tables (RMCC mode).
+	L0Table core.Config
+	L1Table core.Config
+
+	// KeyMaster seeds key derivation; AES256 selects 14-round AES for the
+	// 22 ns sensitivity point.
+	KeyMaster [16]byte
+	AES256    bool
+
+	// TrackContents maintains a real plaintext/ciphertext image of memory
+	// and verifies every decryption and MAC check. Intended for tests and
+	// small footprints: it costs ~128 B per touched block.
+	TrackContents bool
+
+	// InitSeed and Randomize control the paper's non-zero counter
+	// initialization (§V Lifetime Characterization).
+	InitSeed      uint64
+	RandomizeInit bool
+
+	// WarmStartFrac applies only to RMCC mode with randomized counters:
+	// this fraction of counter groups starts releveled onto memoized
+	// values, and the memoization tables are seeded with those values —
+	// the steady state a long-running RMCC system reaches (the paper
+	// measures after a 25-billion-instruction warmup and across whole
+	// application lifetimes). Set to 0 to start cold and watch organic
+	// convergence instead (the convergence experiment does exactly that).
+	WarmStartFrac float64
+}
+
+// DefaultConfig returns a Table-I configuration of the given mode/scheme.
+func DefaultConfig(mode Mode, scheme counter.Scheme, memBytes uint64) Config {
+	return Config{
+		Mode:              mode,
+		Scheme:            scheme,
+		MemBytes:          memBytes,
+		CounterCacheBytes: 128 << 10,
+		CounterCacheWays:  32,
+		L0Table:           core.DefaultConfig(),
+		L1Table:           core.DefaultConfig(),
+		KeyMaster:         [16]byte{0x52, 0x4d, 0x43, 0x43}, // "RMCC"
+		InitSeed:          1,
+		RandomizeInit:     true,
+		WarmStartFrac:     0.9,
+	}
+}
+
+// Traffic is one 64-byte DRAM transfer the MC generated beyond the data
+// access itself.
+type Traffic struct {
+	Addr  uint64
+	Write bool
+	Kind  dram.Kind
+}
+
+// ChainFetch is one counter-chain block that missed in the counter cache
+// and must come from DRAM, together with whether its *parent* counter's
+// cryptographic contribution was memoized (which is what accelerates the
+// verification of this block / decryption of the data below it).
+type ChainFetch struct {
+	Addr  uint64
+	Level int // 0 = L0 counter block, 1 = L1 tree node, ...
+	// MemoHit reports whether the counter value needed to *use* this
+	// block's contents (the data counter for level 0, the child counter
+	// for higher levels) found its AES result memoized.
+	MemoHit bool
+	// MemoSource breaks hits down for Figure 10.
+	MemoSource core.HitSource
+}
+
+// Outcome describes everything one LLC miss caused.
+type Outcome struct {
+	DataAddr uint64
+	Write    bool
+
+	// CtrCacheHit: the L0 counter block was resident (reads and writes).
+	CtrCacheHit bool
+	// Chain lists counter-chain fetches from DRAM, ordered L0 upward.
+	Chain []ChainFetch
+	// L0MemoHit/L0MemoSource: the data block's counter value was memoized
+	// (meaningful in RMCC mode; used for both timing and Figure 10/19).
+	L0MemoHit    bool
+	L0MemoSource core.HitSource
+
+	// Extra DRAM traffic: counter writebacks from cache evictions,
+	// read-triggered update writes, and MAC/ciphertext rewrites.
+	Extra []Traffic
+	// OverflowTraffic lists relevel transfers, routed through the
+	// overflow engine (bounded concurrency) by the detailed simulator.
+	OverflowTraffic []Traffic
+	// Stalled marks accesses the MC rejected because two overflows were
+	// already outstanding (the detailed simulator retries them).
+	Accelerated bool // the §VI headline condition for this miss
+}
+
+// MC is the secure memory controller. Not safe for concurrent use.
+type MC struct {
+	cfg      Config
+	store    *counter.Store
+	ctrCache *cache.Cache
+	unit     *otp.Unit
+	l0Table  *core.Table
+	l1Table  *core.Table
+
+	// observedTreeMax[l] tracks the largest tree counter per level (the
+	// L1 table's System-Max analog).
+	observedTreeMax []uint64
+
+	contents *contentStore
+
+	stats Stats
+}
+
+// New builds a memory controller; it panics on invalid configuration (the
+// configuration is experiment-defined, not user input).
+func New(cfg Config) *MC {
+	if cfg.MemBytes == 0 || cfg.MemBytes%counter.BlockBytes != 0 {
+		panic(fmt.Sprintf("engine: MemBytes %d not block-aligned", cfg.MemBytes))
+	}
+	mc := &MC{cfg: cfg}
+	if cfg.Mode == NonSecure {
+		return mc
+	}
+	mc.store = counter.NewStore(cfg.Scheme, cfg.MemBytes)
+	mc.ctrCache = cache.New(cache.Config{
+		SizeBytes: cfg.CounterCacheBytes,
+		Ways:      cfg.CounterCacheWays,
+		LineBytes: counter.BlockBytes,
+	})
+	keyLen := 16
+	if cfg.AES256 {
+		keyLen = 32
+	}
+	mc.unit = otp.MustNewUnit(otp.DeriveKeys(cfg.KeyMaster, keyLen))
+	mc.observedTreeMax = make([]uint64, mc.store.Levels()+1)
+	if cfg.RandomizeInit {
+		mc.store.Randomize(rng.New(cfg.InitSeed), counter.DefaultRandomize())
+		for l := 1; l <= mc.store.Levels(); l++ {
+			// Seed the per-level max registers from the randomized state.
+			var max uint64
+			for c := 0; c < mc.treeChildren(l); c++ {
+				if v := mc.store.TreeCounter(l, c); v > max {
+					max = v
+				}
+			}
+			mc.observedTreeMax[l] = max
+		}
+	}
+	if cfg.Mode == RMCC {
+		fill := func(v uint64) otp.CtrResult { return mc.unit.CounterOnly(v) }
+		mc.l0Table = core.MustNewTable(cfg.L0Table, fill, func() uint64 { return mc.store.ObservedMax() })
+		mc.l1Table = core.MustNewTable(cfg.L1Table, fill, func() uint64 { return mc.observedTreeMax[1] })
+		if cfg.RandomizeInit && cfg.WarmStartFrac > 0 {
+			mc.warmStart()
+		}
+	}
+	if cfg.TrackContents {
+		mc.contents = newContentStore(mc.unit)
+	}
+	return mc
+}
+
+// warmStart rebases most counter groups onto a set of hot counter values
+// and seeds the memoization tables with exactly those values — the
+// converged steady state the self-reinforcing update drives a long-running
+// system toward (§IV-B). The unsnapped remainder keeps the read-triggered
+// update, watchpoint insertion, and shadow machinery exercised.
+func (mc *MC) warmStart() {
+	r := rng.New(mc.cfg.InitSeed ^ 0x57a2757a27)
+	opts := counter.DefaultRandomize()
+	span := opts.BaseHi - opts.BaseLo
+	// The steady state of the self-reinforcing update is a contiguous
+	// "ladder" of memoized windows (Figures 6/7: counters climb through
+	// consecutive memoized values, and new groups extend the ladder just
+	// above the hot range). Seed the table as one contiguous run of
+	// Groups×GroupSize values and snap counters into its lower windows so
+	// writes have headroom to climb.
+	ladder := func(lo, width uint64, groups, groupSize int) []uint64 {
+		run := uint64(groups * groupSize)
+		top := lo + width
+		if top < lo+run {
+			top = lo + run
+		}
+		start := lo
+		if top-run > lo {
+			start = lo + r.Uint64n(top-run-lo)
+		}
+		out := make([]uint64, groups)
+		for i := range out {
+			out[i] = start + uint64(i*groupSize)
+		}
+		return out
+	}
+	dataBases := ladder(opts.BaseLo, span, mc.cfg.L0Table.Groups, mc.cfg.L0Table.GroupSize)
+	// Snap into the lower half of the ladder so stepped writes stay
+	// covered for many writebacks before reaching the top.
+	mc.store.WarmSnap(r, dataBases[:len(dataBases)/2+1], mc.cfg.WarmStartFrac)
+	mc.l0Table.Seed(dataBases)
+	if mc.store.Levels() >= 1 {
+		// Mirror Randomize's tree value range (base/8).
+		l1Bases := ladder(opts.BaseLo/8, span/8+1, mc.cfg.L1Table.Groups, mc.cfg.L1Table.GroupSize)
+		mc.store.WarmSnapTree(r, 1, l1Bases[:len(l1Bases)/2+1], mc.cfg.WarmStartFrac)
+		mc.l1Table.Seed(l1Bases)
+		var max uint64
+		for c := 0; c < mc.treeChildren(1); c++ {
+			if v := mc.store.TreeCounter(1, c); v > max {
+				max = v
+			}
+		}
+		mc.observedTreeMax[1] = max
+	}
+}
+
+// treeChildren returns the number of child counters stored at level l.
+func (mc *MC) treeChildren(l int) int {
+	if l == 1 {
+		return mc.store.NumL0Blocks()
+	}
+	// Children of level l are the level-(l-1) nodes.
+	n := mc.store.NumL0Blocks()
+	for i := 1; i < l; i++ {
+		n = (n + mc.store.Scheme().TreeArity() - 1) / mc.store.Scheme().TreeArity()
+	}
+	return n
+}
+
+// Config returns the controller configuration.
+func (mc *MC) Config() Config { return mc.cfg }
+
+// Store exposes the counter ground truth (coverage scans, tests).
+func (mc *MC) Store() *counter.Store { return mc.store }
+
+// CounterCache exposes the MC counter cache (tests, stats).
+func (mc *MC) CounterCache() *cache.Cache { return mc.ctrCache }
+
+// L0Table returns the L0 memoization table (nil unless RMCC mode).
+func (mc *MC) L0Table() *core.Table { return mc.l0Table }
+
+// L1Table returns the L1 memoization table (nil unless RMCC mode).
+func (mc *MC) L1Table() *core.Table { return mc.l1Table }
+
+// Unit exposes the OTP unit (examples, tests).
+func (mc *MC) Unit() *otp.Unit { return mc.unit }
+
+// OnEpochAccess advances the memoization tables' epoch clocks by one
+// memory access. The simulator calls it once per LLC-level access.
+func (mc *MC) OnEpochAccess() {
+	if mc.l0Table != nil {
+		mc.l0Table.OnAccess()
+	}
+	if mc.l1Table != nil {
+		mc.l1Table.OnAccess()
+	}
+}

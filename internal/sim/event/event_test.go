@@ -1,0 +1,121 @@
+package event
+
+import (
+	"testing"
+
+	"rmcc/internal/rng"
+)
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestScheduleFromCallback(t *testing.T) {
+	e := New()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 5 {
+			e.After(10, step)
+		}
+	}
+	e.Schedule(0, step)
+	e.Run()
+	if count != 5 || e.Now() != 40 {
+		t.Fatalf("count=%d now=%d", count, e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for past scheduling")
+			}
+		}()
+		e.Schedule(50, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(20, func() { fired++ })
+	e.Schedule(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(100)
+	if fired != 3 || e.Now() != 100 {
+		t.Fatalf("fired=%d now=%d", fired, e.Now())
+	}
+}
+
+func TestRandomizedOrderingProperty(t *testing.T) {
+	r := rng.New(123)
+	e := New()
+	const n = 2000
+	times := make([]Time, n)
+	for i := range times {
+		times[i] = Time(r.Uint64n(100000))
+	}
+	var seen []Time
+	for _, at := range times {
+		at := at
+		e.Schedule(at, func() { seen = append(seen, at) })
+	}
+	e.Run()
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("out of order at %d: %d after %d", i, seen[i], seen[i-1])
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("lost events: %d/%d", len(seen), n)
+	}
+}
+
+func BenchmarkScheduleStep(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%64), func() {})
+		e.Step()
+	}
+}

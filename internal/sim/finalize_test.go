@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+	"rmcc/internal/sim/event"
+)
+
+func finalizeCfg() DetailedConfig {
+	return DefaultDetailedConfig(engine.DefaultConfig(engine.Baseline, counter.Morphable, 0))
+}
+
+// TestFigure5Saving replays the paper's Figure 5 example: on a counter
+// miss where data and counter arrive together from DRAM, memoization
+// replaces the 15 ns AES with a ~1 ns lookup+CLMUL, saving AES−CLMUL in
+// end-to-end latency (the figure's "Saving: 13ns" with a 2 ns combine).
+func TestFigure5Saving(t *testing.T) {
+	cfg := finalizeCfg()
+	const t0 = 1000 * event.Nanosecond
+	arrival := t0 + 45*event.Nanosecond // both DRAM fetches complete here
+
+	mk := func(memo bool) *txn {
+		tx := &txn{
+			t0:    t0,
+			chain: []chainPart{{memoHit: memo, tArr: arrival}},
+			tData: arrival,
+		}
+		tx.finalize(&cfg)
+		return tx
+	}
+	baseline := mk(false)
+	rmcc := mk(true)
+	saving := baseline.complete - rmcc.complete
+	if want := cfg.AESLat - cfg.ClmulLat; saving != want {
+		t.Fatalf("saving = %d ps, want %d ps (AES - CLMUL)", saving, want)
+	}
+	// Baseline critical path: counter arrival + decode + the fetched
+	// counter block's own MAC dot + AES for the data pad + the data MAC
+	// dot.
+	wantBase := arrival + cfg.DecodeLat + cfg.DotLat + cfg.AESLat + cfg.DotLat
+	if baseline.complete != wantBase {
+		t.Fatalf("baseline complete = %d, want %d", baseline.complete, wantBase)
+	}
+}
+
+// TestFinalizeCtrCacheHitHidesAES: with the counter cached, AES starts at
+// t0 and hides under a long-enough data fetch.
+func TestFinalizeCtrCacheHitHidesAES(t *testing.T) {
+	cfg := finalizeCfg()
+	tx := &txn{t0: 0, ctrCacheHit: true, tData: 60 * event.Nanosecond}
+	tx.finalize(&cfg)
+	if want := tx.tData + cfg.DotLat; tx.complete != want {
+		t.Fatalf("complete = %d, want data-bound %d", tx.complete, want)
+	}
+	// Short data fetch: AES is exposed.
+	tx2 := &txn{t0: 0, ctrCacheHit: true, tData: 5 * event.Nanosecond}
+	tx2.finalize(&cfg)
+	if want := cfg.DecodeLat + cfg.AESLat + cfg.DotLat; tx2.complete != want {
+		t.Fatalf("complete = %d, want AES-bound %d", tx2.complete, want)
+	}
+}
+
+// TestFinalizeChainSerializesLevels: an L1 miss serializes behind the L0
+// fetch's verification, and memoizing the L1 value removes one AES from
+// the chain.
+func TestFinalizeChainSerializesLevels(t *testing.T) {
+	cfg := finalizeCfg()
+	const t0 = 0
+	l0Arr := 50 * event.Nanosecond
+	l1Arr := 52 * event.Nanosecond
+	mk := func(l0memo, l1memo bool) event.Time {
+		tx := &txn{
+			t0: t0,
+			chain: []chainPart{
+				{memoHit: l0memo, tArr: l0Arr},
+				{memoHit: l1memo, tArr: l1Arr},
+			},
+			tData: 55 * event.Nanosecond,
+		}
+		tx.finalize(&cfg)
+		return tx.complete
+	}
+	none := mk(false, false)
+	l1Only := mk(false, true)
+	both := mk(true, true)
+	if !(both < l1Only && l1Only < none) {
+		t.Fatalf("memoization not monotone: none=%d l1=%d both=%d", none, l1Only, both)
+	}
+	// Memoizing L1 removes exactly one AES−CLMUL from the serial chain
+	// (the L0 path is the bottleneck in this construction).
+	if d := none - l1Only; d != cfg.AESLat-cfg.ClmulLat {
+		t.Fatalf("L1 memo saving = %d, want %d", d, cfg.AESLat-cfg.ClmulLat)
+	}
+}
+
+// TestFinalizeNonSecure: no crypto on the path at all.
+func TestFinalizeNonSecure(t *testing.T) {
+	cfg := finalizeCfg()
+	tx := &txn{t0: 0, nonSecure: true, tData: 42 * event.Nanosecond}
+	tx.finalize(&cfg)
+	if tx.complete != tx.tData {
+		t.Fatalf("non-secure complete = %d, want %d", tx.complete, tx.tData)
+	}
+}
+
+// TestFinalizeSGXSkipsDecode: monolithic counters have no split-decode
+// step.
+func TestFinalizeSGXSkipsDecode(t *testing.T) {
+	cfg := finalizeCfg()
+	arr := 50 * event.Nanosecond
+	mk := func(sgx bool) event.Time {
+		tx := &txn{
+			t0:        0,
+			schemeSGX: sgx,
+			chain:     []chainPart{{tArr: arr}},
+			tData:     arr,
+		}
+		tx.finalize(&cfg)
+		return tx.complete
+	}
+	if d := mk(false) - mk(true); d != cfg.DecodeLat {
+		t.Fatalf("decode difference = %d, want %d", d, cfg.DecodeLat)
+	}
+}
+
+// TestFinalizeSpeculationDropsVerification: with speculative verification
+// the upper-chain serialization and the MAC dot product leave the critical
+// path; only counter arrival + pad remain.
+func TestFinalizeSpeculationDropsVerification(t *testing.T) {
+	cfg := finalizeCfg()
+	cfg.SpeculativeVerification = true
+	l0Arr := 50 * event.Nanosecond
+	tx := &txn{
+		t0:    0,
+		spec:  true,
+		chain: []chainPart{{tArr: l0Arr}, {tArr: 80 * event.Nanosecond}}, // slow L1
+		tData: l0Arr,
+	}
+	tx.finalize(&cfg)
+	want := l0Arr + cfg.DecodeLat + cfg.AESLat // L1 entirely off-path
+	if tx.complete != want {
+		t.Fatalf("spec complete = %d, want %d", tx.complete, want)
+	}
+}

@@ -1,0 +1,262 @@
+// Package sim provides the two simulation drivers over the shared
+// functional machinery:
+//
+//   - Lifetime: the Pintool analog — caches, TLBs, counters, memoization
+//     tables, traffic accounting; no clock. Whole-application-lifetime
+//     metrics (Figures 3, 4, 10, 15, 16, 19–22).
+//   - Detailed: the Gem5 analog — adds an out-of-order-window CPU model and
+//     the DDR4 timing channel to turn the same functional outcomes into
+//     performance (Figures 12–14, 17, 18).
+package sim
+
+import (
+	"rmcc/internal/mem/cache"
+	"rmcc/internal/mem/tlb"
+	"rmcc/internal/mem/vm"
+	"rmcc/internal/secmem/engine"
+	"rmcc/internal/workload"
+)
+
+// LifetimeConfig parameterizes a lifetime (functional) run. The cache
+// defaults mirror the paper's Pintool setup: 1 MB L2 and 2 MB LLC per
+// thread, 32 KB counter cache per thread, 2 MB huge pages.
+type LifetimeConfig struct {
+	L1  cache.Config
+	L2  cache.Config
+	LLC cache.Config
+
+	TLBEntries int
+	PageBytes  uint64
+
+	// Engine carries the MC mode/scheme/table settings. MemBytes is
+	// overridden to fit the workload footprint.
+	Engine engine.Config
+
+	// MaxAccesses bounds the CPU-level access stream.
+	MaxAccesses uint64
+	Seed        uint64
+}
+
+// DefaultLifetimeConfig mirrors the paper's Pintool configuration.
+func DefaultLifetimeConfig(eng engine.Config) LifetimeConfig {
+	eng.CounterCacheBytes = 32 << 10 // per-thread counter cache (§III, §V)
+	return LifetimeConfig{
+		L1:          cache.Config{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64},
+		L2:          cache.Config{SizeBytes: 1 << 20, Ways: 8, LineBytes: 64},
+		LLC:         cache.Config{SizeBytes: 2 << 20, Ways: 16, LineBytes: 64},
+		TLBEntries:  1536,
+		PageBytes:   2 << 20,
+		Engine:      eng,
+		MaxAccesses: 5_000_000,
+		Seed:        1,
+	}
+}
+
+// LifetimeResult aggregates a lifetime run.
+type LifetimeResult struct {
+	Workload      string
+	Accesses      uint64
+	LLCMissReads  uint64
+	LLCMissWrites uint64 // dirty LLC evictions sent to the MC
+
+	// TLB misses measured on the same stream under both page sizes
+	// (Figure 4). Misses are normalized against LLC misses by the caller.
+	TLB4KMisses uint64
+	TLB2MMisses uint64
+
+	L1Stats, L2Stats, LLCStats cache.Stats
+	Engine                     engine.Stats
+
+	// CoveragePerValue is the mean number of data blocks whose counter
+	// equals a live memoized value, per memoized value (Figure 15).
+	CoveragePerValue float64
+	// MaxCounter is the largest data counter at the end (§IV-D2's +24%).
+	MaxCounter uint64
+}
+
+// LLCMisses returns total MC read requests (the Figure-3 denominator).
+func (r LifetimeResult) LLCMisses() uint64 { return r.LLCMissReads }
+
+// RunLifetime executes a whole-lifetime functional simulation of w.
+func RunLifetime(w workload.Workload, cfg LifetimeConfig) LifetimeResult {
+	h := newHierarchy(cfg.L1, cfg.L2, cfg.LLC)
+	physBytes := physFor(w.FootprintBytes(), cfg.PageBytes)
+	mapper := vm.New(physBytes, cfg.PageBytes, cfg.Seed^0xabcd)
+	engCfg := cfg.Engine
+	engCfg.MemBytes = physBytes
+	mc := engine.New(engCfg)
+
+	tlb4k := tlb.New(tlb.Config{Entries: cfg.TLBEntries, Ways: 12, PageBytes: 4 << 10})
+	tlb2m := tlb.New(tlb.Config{Entries: cfg.TLBEntries, Ways: 12, PageBytes: 2 << 20})
+
+	res := LifetimeResult{Workload: w.Name()}
+	st := newStream(func(sink workload.Sink) { w.Run(cfg.Seed, sink) })
+	defer st.close()
+
+	for res.Accesses < cfg.MaxAccesses {
+		a, ok := st.next()
+		if !ok {
+			break
+		}
+		res.Accesses++
+		tlb4k.Lookup(a.Addr)
+		tlb2m.Lookup(a.Addr)
+		paddr := mapper.Translate(a.Addr)
+		miss, victims := h.access(paddr, a.Write)
+		for _, v := range victims {
+			mc.Write(v)
+			mc.OnEpochAccess()
+			res.LLCMissWrites++
+		}
+		if miss {
+			mc.Read(paddr)
+			mc.OnEpochAccess()
+			res.LLCMissReads++
+		}
+	}
+
+	res.TLB4KMisses = tlb4k.Stats().Misses
+	res.TLB2MMisses = tlb2m.Stats().Misses
+	res.L1Stats = h.l1.Stats()
+	res.L2Stats = h.l2.Stats()
+	res.LLCStats = h.llc.Stats()
+	res.Engine = mc.Stats()
+	if mc.Store() != nil {
+		res.MaxCounter = mc.Store().ObservedMax()
+	}
+	if mc.L0Table() != nil && mc.Store() != nil {
+		res.CoveragePerValue = coveragePerValue(mc)
+	}
+	return res
+}
+
+// physFor sizes simulated physical memory: footprint plus slack, page
+// aligned.
+func physFor(footprint, pageBytes uint64) uint64 {
+	phys := footprint + footprint/4 + 16<<20
+	return (phys + pageBytes - 1) &^ (pageBytes - 1)
+}
+
+// coveragePerValue scans all data counters and computes the Figure-15
+// metric: blocks covered per live memoized value.
+func coveragePerValue(mc *engine.MC) float64 {
+	tbl := mc.L0Table()
+	store := mc.Store()
+	live := tbl.LiveValues()
+	if len(live) == 0 {
+		return 0
+	}
+	inTable := make(map[uint64]bool, len(live))
+	for _, v := range live {
+		inTable[v] = true
+	}
+	covered := 0
+	for i := 0; i < store.NumDataBlocks(); i++ {
+		if inTable[store.DataCounter(i)] {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(live))
+}
+
+// hierarchy is the three-level data-cache stack shared by both drivers.
+// Caches are modeled functionally (presence + dirtiness); dirty evictions
+// propagate downward and ultimately reach the MC.
+type hierarchy struct {
+	l1, l2, llc *cache.Cache
+}
+
+func newHierarchy(l1, l2, llc cache.Config) *hierarchy {
+	return &hierarchy{l1: cache.New(l1), l2: cache.New(l2), llc: cache.New(llc)}
+}
+
+// access runs one CPU access through L1→L2→LLC. It returns whether the
+// access missed the LLC (needs an MC read) and any dirty LLC victims that
+// must be written to memory.
+func (h *hierarchy) access(paddr uint64, write bool) (llcMiss bool, victims []uint64) {
+	r1 := h.l1.Access(paddr, write)
+	if r1.Evicted && r1.Writeback {
+		// L1 victim lands in L2 (it is inclusive-enough: allocate).
+		r2 := h.l2.Access(r1.VictimAddr, true)
+		if r2.Evicted && r2.Writeback {
+			victims = h.llcWrite(r2.VictimAddr, victims)
+		}
+	}
+	if r1.Hit {
+		return false, victims
+	}
+	r2 := h.l2.Access(paddr, false)
+	if r2.Evicted && r2.Writeback {
+		victims = h.llcWrite(r2.VictimAddr, victims)
+	}
+	if r2.Hit {
+		return false, victims
+	}
+	r3 := h.llc.Access(paddr, false)
+	if r3.Evicted && r3.Writeback {
+		victims = append(victims, r3.VictimAddr)
+	}
+	return !r3.Hit, victims
+}
+
+// llcWrite inserts a dirty block into the LLC, collecting any dirty victim
+// it displaces.
+func (h *hierarchy) llcWrite(paddr uint64, victims []uint64) []uint64 {
+	r := h.llc.Access(paddr, true)
+	if r.Evicted && r.Writeback {
+		victims = append(victims, r.VictimAddr)
+	}
+	return victims
+}
+
+// latency classification for the detailed driver.
+type hitLevel int
+
+const (
+	hitL1 hitLevel = iota
+	hitL2
+	hitLLC
+	missAll
+)
+
+func (l hitLevel) String() string {
+	switch l {
+	case hitL1:
+		return "L1"
+	case hitL2:
+		return "L2"
+	case hitLLC:
+		return "LLC"
+	default:
+		return "memory"
+	}
+}
+
+// accessLeveled is access but reporting which level served the request.
+func (h *hierarchy) accessLeveled(paddr uint64, write bool) (lvl hitLevel, victims []uint64) {
+	r1 := h.l1.Access(paddr, write)
+	if r1.Evicted && r1.Writeback {
+		r2 := h.l2.Access(r1.VictimAddr, true)
+		if r2.Evicted && r2.Writeback {
+			victims = h.llcWrite(r2.VictimAddr, victims)
+		}
+	}
+	if r1.Hit {
+		return hitL1, victims
+	}
+	r2 := h.l2.Access(paddr, false)
+	if r2.Evicted && r2.Writeback {
+		victims = h.llcWrite(r2.VictimAddr, victims)
+	}
+	if r2.Hit {
+		return hitL2, victims
+	}
+	r3 := h.llc.Access(paddr, false)
+	if r3.Evicted && r3.Writeback {
+		victims = append(victims, r3.VictimAddr)
+	}
+	if r3.Hit {
+		return hitLLC, victims
+	}
+	return missAll, victims
+}

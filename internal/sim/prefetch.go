@@ -1,0 +1,96 @@
+package sim
+
+// prefetcher is a constant-stride stream prefetcher at the LLC fill level
+// (Table I lists stride prefetchers of degree 1 at L1 and 2 at L2; we model
+// their combined effect where it matters for this paper — at the memory
+// controller, where prefetch fills consume DRAM bandwidth and warm both
+// the LLC and the counter cache ahead of demand).
+//
+// A small table of streams tracks the last line and detected stride per
+// stream; two consecutive accesses with the same stride arm the stream,
+// after which each demand miss prefetches the next `degree` lines.
+type prefetcher struct {
+	streams []pfStream
+	degree  int
+	clock   uint64
+}
+
+type pfStream struct {
+	lastLine uint64
+	stride   int64
+	conf     int
+	lastUse  uint64
+}
+
+const pfConfidenceArm = 2
+
+func newPrefetcher(streams, degree int) *prefetcher {
+	if streams <= 0 || degree <= 0 {
+		return nil
+	}
+	return &prefetcher{streams: make([]pfStream, streams), degree: degree}
+}
+
+// observe feeds a demand-missed line address and returns the line
+// addresses to prefetch (possibly none).
+func (p *prefetcher) observe(line uint64) []uint64 {
+	p.clock++
+	// Find the stream this line continues: one whose lastLine+stride is
+	// nearby (within 8 lines forms/continues a stream).
+	best := -1
+	var bestDelta int64
+	for i := range p.streams {
+		s := &p.streams[i]
+		if s.lastUse == 0 {
+			continue
+		}
+		delta := int64(line) - int64(s.lastLine)
+		if delta != 0 && delta >= -8 && delta <= 8 {
+			if best == -1 || abs64(delta) < abs64(bestDelta) {
+				best, bestDelta = i, delta
+			}
+		}
+	}
+	if best == -1 {
+		// Allocate a fresh stream (LRU victim).
+		victim := 0
+		for i := range p.streams {
+			if p.streams[i].lastUse < p.streams[victim].lastUse {
+				victim = i
+			}
+		}
+		p.streams[victim] = pfStream{lastLine: line, lastUse: p.clock}
+		return nil
+	}
+	s := &p.streams[best]
+	if s.stride == bestDelta {
+		if s.conf < pfConfidenceArm {
+			s.conf++
+		}
+	} else {
+		s.stride = bestDelta
+		s.conf = 1
+	}
+	s.lastLine = line
+	s.lastUse = p.clock
+	if s.conf < pfConfidenceArm {
+		return nil
+	}
+	out := make([]uint64, 0, p.degree)
+	next := int64(line)
+	for d := 0; d < p.degree; d++ {
+		next += s.stride
+		if next <= 0 {
+			break
+		}
+		out = append(out, uint64(next))
+	}
+	return out
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

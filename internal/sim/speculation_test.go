@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+)
+
+// TestSpeculativeVerificationHelpsBaseline reproduces the §VII trade-off:
+// speculation hides verification latency (so the baseline improves), but
+// not the counter-to-pad AES (so RMCC still adds benefit on top).
+func TestSpeculativeVerificationHelpsBaseline(t *testing.T) {
+	run := func(mode engine.Mode, spec bool) DetailedResult {
+		cfg := detailedCfg(mode, counter.Morphable)
+		cfg.SpeculativeVerification = spec
+		cfg.WarmupAccesses = 100_000
+		cfg.MeasureAccesses = 300_000
+		return RunDetailed(mustWL(t, "canneal", 31), cfg)
+	}
+	base := run(engine.Baseline, false)
+	spec := run(engine.Baseline, true)
+	if spec.AvgMissLatencyNS >= base.AvgMissLatencyNS {
+		t.Fatalf("speculation did not cut miss latency: %.1f vs %.1f",
+			spec.AvgMissLatencyNS, base.AvgMissLatencyNS)
+	}
+	if spec.IPC < base.IPC {
+		t.Fatalf("speculation reduced IPC: %.3f vs %.3f", spec.IPC, base.IPC)
+	}
+	// RMCC composes with speculation: the pad computation is the part
+	// speculation cannot hide.
+	rmSpec := run(engine.RMCC, true)
+	if rmSpec.AvgMissLatencyNS > spec.AvgMissLatencyNS {
+		t.Fatalf("RMCC+spec latency %.1f above spec-only %.1f",
+			rmSpec.AvgMissLatencyNS, spec.AvgMissLatencyNS)
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+	"rmcc/internal/sim/event"
+)
+
+// TestTableIConfigParity pins the default detailed configuration to the
+// paper's Table I, so accidental drift in any constant fails loudly.
+func TestTableIConfigParity(t *testing.T) {
+	eng := engine.DefaultConfig(engine.RMCC, counter.Morphable, 0)
+	cfg := DefaultDetailedConfig(eng)
+
+	checks := []struct {
+		name string
+		got  interface{}
+		want interface{}
+	}{
+		{"CPU GHz", cfg.CPUGHz, 3.2},
+		{"width", cfg.Width, 4},
+		{"ROB entries", cfg.ROB, 192},
+		{"L1 D-cache", cfg.L1.SizeBytes, 64 << 10},
+		{"L1 ways", cfg.L1.Ways, 8},
+		{"L2 size", cfg.L2.SizeBytes, 1 << 20},
+		{"L2 ways", cfg.L2.Ways, 8},
+		{"L3 size", cfg.LLC.SizeBytes, 8 << 20},
+		{"L3 ways", cfg.LLC.Ways, 16},
+		{"L1 latency", cfg.L1Lat, 2 * event.Nanosecond},
+		{"L2 latency (additive 2+4)", cfg.L2Lat, 6 * event.Nanosecond},
+		{"L3 latency (additive 2+4+17)", cfg.LLCLat, 23 * event.Nanosecond},
+		{"counter cache", eng.CounterCacheBytes, 128 << 10},
+		{"counter cache ways", eng.CounterCacheWays, 32},
+		{"Morphable decode", cfg.DecodeLat, 3 * event.Nanosecond},
+		{"AES-128 latency", cfg.AESLat, 15 * event.Nanosecond},
+		{"carry-less multiply", cfg.ClmulLat, 1 * event.Nanosecond},
+		{"memo table L0 entries", eng.L0Table.Entries(), 128},
+		{"memo table L1 entries", eng.L1Table.Entries(), 128},
+		{"tCL", cfg.DRAM.TCL, 13750 * event.Picosecond},
+		{"tRCD", cfg.DRAM.TRCD, 13750 * event.Picosecond},
+		{"tRP", cfg.DRAM.TRP, 13750 * event.Picosecond},
+		{"tRFC", cfg.DRAM.TRFC, 350 * event.Nanosecond},
+		{"row-buffer timeout", cfg.DRAM.RowTimeout, 500 * event.Nanosecond},
+		{"read queue", cfg.DRAM.ReadQueueCap, 256},
+		{"write queue", cfg.DRAM.WriteQueueCap, 256},
+		{"ranks", cfg.DRAM.Ranks, 8},
+		{"burst (3.2 GT/s x 64B)", cfg.DRAM.BurstTime, 2500 * event.Picosecond},
+		{"page size", cfg.PageBytes, uint64(2 << 20)},
+		{"epoch", eng.L0Table.EpochAccesses, uint64(1_000_000)},
+		{"budget", eng.L0Table.BudgetFrac, 0.01},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("Table I mismatch: %s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}

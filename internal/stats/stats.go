@@ -1,0 +1,136 @@
+// Package stats provides the result-table abstraction the experiment
+// harness uses to regenerate the paper's figures as text: named rows (one
+// per workload), named series (one per configuration), and the geometric /
+// arithmetic mean row every figure in the paper ends with.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is one figure's data: len(Series) values per row.
+type Table struct {
+	Title  string
+	Unit   string // how to render cells: "%", "ns", "x", "" (raw)
+	Series []string
+	Rows   []Row
+	// GeoMean selects the geometric mean for the summary row (used for
+	// ratio-like figures); otherwise the arithmetic mean is used.
+	GeoMean bool
+}
+
+// Row is one workload's results across the series.
+type Row struct {
+	Name  string
+	Cells []float64
+}
+
+// Add appends a row.
+func (t *Table) Add(name string, cells ...float64) {
+	t.Rows = append(t.Rows, Row{Name: name, Cells: cells})
+}
+
+// Mean computes the per-series summary across rows.
+func (t *Table) Mean() []float64 {
+	if len(t.Rows) == 0 {
+		return nil
+	}
+	out := make([]float64, len(t.Series))
+	for s := range t.Series {
+		if t.GeoMean {
+			logSum := 0.0
+			n := 0
+			for _, r := range t.Rows {
+				if s < len(r.Cells) && r.Cells[s] > 0 {
+					logSum += math.Log(r.Cells[s])
+					n++
+				}
+			}
+			if n > 0 {
+				out[s] = math.Exp(logSum / float64(n))
+			}
+		} else {
+			sum := 0.0
+			n := 0
+			for _, r := range t.Rows {
+				if s < len(r.Cells) {
+					sum += r.Cells[s]
+					n++
+				}
+			}
+			if n > 0 {
+				out[s] = sum / float64(n)
+			}
+		}
+	}
+	return out
+}
+
+// Cell returns the value at (rowName, series) for programmatic checks.
+func (t *Table) Cell(rowName, series string) (float64, bool) {
+	si := -1
+	for i, s := range t.Series {
+		if s == series {
+			si = i
+			break
+		}
+	}
+	if si < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Name == rowName && si < len(r.Cells) {
+			return r.Cells[si], true
+		}
+	}
+	return 0, false
+}
+
+func (t *Table) format(v float64) string {
+	switch t.Unit {
+	case "%":
+		return fmt.Sprintf("%6.1f%%", v*100)
+	case "ns":
+		return fmt.Sprintf("%6.1fns", v)
+	case "x":
+		return fmt.Sprintf("%6.3fx", v)
+	default:
+		if v >= 10000 {
+			return fmt.Sprintf("%8.0f", v)
+		}
+		return fmt.Sprintf("%8.2f", v)
+	}
+}
+
+// String renders the table with a mean summary row, in the paper's
+// figure-order layout.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	nameW := len("mean")
+	for _, r := range t.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameW+2, "")
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, "%16s", s)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", nameW+2, r.Name)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "%16s", t.format(c))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s", nameW+2, "mean")
+	for _, m := range t.Mean() {
+		fmt.Fprintf(&b, "%16s", t.format(m))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

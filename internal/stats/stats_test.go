@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeanArithmetic(t *testing.T) {
+	tb := Table{Title: "t", Series: []string{"a", "b"}}
+	tb.Add("w1", 1, 10)
+	tb.Add("w2", 3, 30)
+	m := tb.Mean()
+	if m[0] != 2 || m[1] != 20 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestMeanGeometric(t *testing.T) {
+	tb := Table{Title: "t", Series: []string{"a"}, GeoMean: true}
+	tb.Add("w1", 2)
+	tb.Add("w2", 8)
+	if m := tb.Mean(); math.Abs(m[0]-4) > 1e-9 {
+		t.Fatalf("geomean = %v, want 4", m)
+	}
+}
+
+func TestGeoMeanSkipsNonPositive(t *testing.T) {
+	tb := Table{Series: []string{"a"}, GeoMean: true}
+	tb.Add("w1", 4)
+	tb.Add("w2", 0)
+	if m := tb.Mean(); m[0] != 4 {
+		t.Fatalf("geomean = %v, want 4 (zero skipped)", m)
+	}
+}
+
+func TestCellLookup(t *testing.T) {
+	tb := Table{Series: []string{"a", "b"}}
+	tb.Add("canneal", 0.5, 0.9)
+	if v, ok := tb.Cell("canneal", "b"); !ok || v != 0.9 {
+		t.Fatalf("cell = %v %v", v, ok)
+	}
+	if _, ok := tb.Cell("canneal", "zzz"); ok {
+		t.Fatal("found nonexistent series")
+	}
+	if _, ok := tb.Cell("zzz", "a"); ok {
+		t.Fatal("found nonexistent row")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tb := Table{Title: "Figure X", Unit: "%", Series: []string{"RMCC"}}
+	tb.Add("canneal", 0.92)
+	s := tb.String()
+	for _, want := range []string{"Figure X", "canneal", "92.0%", "mean", "RMCC"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestUnits(t *testing.T) {
+	cases := []struct {
+		unit string
+		val  float64
+		want string
+	}{
+		{"%", 0.5, "50.0%"},
+		{"ns", 47.25, "47.2ns"},
+		{"x", 1.0625, "1.062x"},
+		{"", 12345678, "12345678"},
+	}
+	for _, c := range cases {
+		tb := Table{Unit: c.unit}
+		if got := strings.TrimSpace(tb.format(c.val)); got != c.want {
+			t.Errorf("unit %q: format(%v) = %q, want %q", c.unit, c.val, got, c.want)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := Table{Title: "empty", Series: []string{"a"}}
+	if m := tb.Mean(); m != nil {
+		t.Fatalf("mean of empty = %v", m)
+	}
+	_ = tb.String() // must not panic
+}

@@ -1,0 +1,235 @@
+package workload
+
+import "rmcc/internal/rng"
+
+// The three non-graph workloads reproduce the *memory access patterns* of
+// PARSEC canneal, SPEC omnetpp, and SPEC mcf rather than their source code
+// (which is external): canneal's random swap-and-evaluate over a huge
+// netlist, omnetpp's event-heap churn with scattered payloads, and mcf's
+// mostly-sequential arc sweeps with occasional node chasing. The paper
+// picks exactly these three because they span the counter-miss spectrum —
+// canneal highest, mcf lowest (Figure 3).
+
+// --- canneal ---
+
+// Canneal models simulated-annealing placement: pick two random cells,
+// read both and a few of each cell's netlist neighbors, then swap (two
+// writes). Nearly every access is a fresh random 64 B cell in a footprint
+// far beyond any cache.
+type Canneal struct {
+	cellBase uint64
+	nCells   uint64
+	lay      *layout
+}
+
+// NewCanneal builds the workload at the given size.
+func NewCanneal(size Size) *Canneal {
+	var cells uint64
+	switch size {
+	case SizeTest:
+		cells = 1 << 14 // 1 MiB
+	case SizeSmall:
+		// 64 MiB: 4x the 128 KB counter cache's 16 MB reach, so the
+		// counter-miss regime survives the scaled-down runs.
+		cells = 1 << 20
+	default:
+		cells = 1 << 22 // 256 MiB
+	}
+	lay := newLayout()
+	return &Canneal{cellBase: lay.region(cells * 64), nCells: cells, lay: lay}
+}
+
+// Name implements Workload.
+func (c *Canneal) Name() string { return "canneal" }
+
+// FootprintBytes implements Workload.
+func (c *Canneal) FootprintBytes() uint64 { return c.lay.footprint() }
+
+// Run implements Workload.
+func (c *Canneal) Run(seed uint64, sink Sink) {
+	e := &emitter{sink: sink}
+	r := rng.New(seed)
+	cell := func(i uint64) uint64 { return c.cellBase + i*64 }
+	for !e.stopped {
+		a := r.Uint64n(c.nCells)
+		b := r.Uint64n(c.nCells)
+		e.load(cell(a), 3)
+		e.load(cell(b), 1)
+		// Each cell consults a few nets (pseudo-neighbors derived from the
+		// cell id, like netlist pointers).
+		for k := uint64(1); k <= 3; k++ {
+			e.load(cell((a*2654435761+k*40503)%c.nCells), 2)
+			e.load(cell((b*2654435761+k*40503)%c.nCells), 2)
+		}
+		// Accept the swap: write both cells.
+		e.store(cell(a), 4)
+		e.store(cell(b), 1)
+	}
+}
+
+// --- omnetpp ---
+
+// Omnetpp models a discrete-event simulator: a binary heap of pending
+// events (hot near the root, scattered at depth) plus random-scattered
+// event payloads, with moderate locality overall.
+type Omnetpp struct {
+	heapBase, payloadBase uint64
+	heapCap, nPayloads    uint64
+	lay                   *layout
+}
+
+// NewOmnetpp builds the workload at the given size.
+func NewOmnetpp(size Size) *Omnetpp {
+	var heapCap, payloads uint64
+	switch size {
+	case SizeTest:
+		heapCap, payloads = 1<<12, 1<<14
+	case SizeSmall:
+		heapCap, payloads = 1<<16, 1<<20
+	default:
+		heapCap, payloads = 1<<18, 1<<21 // 16 MiB heap, 128 MiB payloads
+	}
+	lay := newLayout()
+	return &Omnetpp{
+		heapBase:    lay.region(heapCap * 64),
+		payloadBase: lay.region(payloads * 64),
+		heapCap:     heapCap,
+		nPayloads:   payloads,
+		lay:         lay,
+	}
+}
+
+// Name implements Workload.
+func (o *Omnetpp) Name() string { return "omnetpp" }
+
+// FootprintBytes implements Workload.
+func (o *Omnetpp) FootprintBytes() uint64 { return o.lay.footprint() }
+
+// Run implements Workload.
+func (o *Omnetpp) Run(seed uint64, sink Sink) {
+	e := &emitter{sink: sink}
+	r := rng.New(seed)
+	heap := make([]uint64, 1, o.heapCap) // event timestamps
+	heap[0] = r.Uint64n(1000)
+	hAddr := func(i int) uint64 { return o.heapBase + uint64(i)*64 }
+	now := uint64(0)
+	for !e.stopped {
+		// Pop-min with sift-down: touches a root-to-leaf path.
+		e.load(hAddr(0), 3)
+		now = heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		e.load(hAddr(last), 1)
+		heap = heap[:last]
+		i := 0
+		for {
+			l, rr := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) {
+				e.load(hAddr(l), 1)
+				if heap[l] < heap[small] {
+					small = l
+				}
+			}
+			if rr < len(heap) {
+				e.load(hAddr(rr), 1)
+				if heap[rr] < heap[small] {
+					small = rr
+				}
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			e.store(hAddr(i), 1)
+			e.store(hAddr(small), 1)
+			i = small
+		}
+		// Handle the event: touch its payload module state (scattered).
+		p := r.Uint64n(o.nPayloads)
+		e.load(o.payloadBase+p*64, 4)
+		e.store(o.payloadBase+p*64, 2)
+		// Schedule 1-2 future events: push with sift-up.
+		nNew := 1 + int(r.Uint64n(2))
+		for k := 0; k < nNew && uint64(len(heap)) < o.heapCap-1; k++ {
+			heap = append(heap, now+1+r.Uint64n(5000))
+			j := len(heap) - 1
+			e.store(hAddr(j), 2)
+			for j > 0 {
+				parent := (j - 1) / 2
+				e.load(hAddr(parent), 1)
+				if heap[parent] <= heap[j] {
+					break
+				}
+				heap[parent], heap[j] = heap[j], heap[parent]
+				e.store(hAddr(parent), 1)
+				j = parent
+			}
+		}
+		if len(heap) == 0 {
+			heap = append(heap, now+1)
+			e.store(hAddr(0), 1)
+		}
+	}
+}
+
+// --- mcf ---
+
+// MCF models network-simplex pricing sweeps: long sequential scans over a
+// big arc array with occasional random node-table accesses and sparse arc
+// updates — the low-counter-miss end of the paper's spectrum (sequential
+// misses share counter blocks).
+type MCF struct {
+	arcBase, nodeBase uint64
+	nArcs, nNodes     uint64
+	lay               *layout
+}
+
+// NewMCF builds the workload at the given size.
+func NewMCF(size Size) *MCF {
+	var arcs, nodes uint64
+	switch size {
+	case SizeTest:
+		arcs, nodes = 1<<14, 1<<11
+	case SizeSmall:
+		arcs, nodes = 1<<19, 1<<15
+	default:
+		arcs, nodes = 1<<21, 1<<17 // 128 MiB arcs, 8 MiB nodes
+	}
+	lay := newLayout()
+	return &MCF{
+		arcBase:  lay.region(arcs * 64),
+		nodeBase: lay.region(nodes * 64),
+		nArcs:    arcs,
+		nNodes:   nodes,
+		lay:      lay,
+	}
+}
+
+// Name implements Workload.
+func (m *MCF) Name() string { return "mcf" }
+
+// FootprintBytes implements Workload.
+func (m *MCF) FootprintBytes() uint64 { return m.lay.footprint() }
+
+// Run implements Workload.
+func (m *MCF) Run(seed uint64, sink Sink) {
+	e := &emitter{sink: sink}
+	r := rng.New(seed)
+	for !e.stopped {
+		// One pricing sweep over all arcs.
+		for a := uint64(0); a < m.nArcs && !e.stopped; a++ {
+			e.load(m.arcBase+a*64, 2)
+			// ~12 % of arcs chase their endpoint nodes (random).
+			if r.Uint64n(8) == 0 {
+				e.load(m.nodeBase+r.Uint64n(m.nNodes)*64, 2)
+				e.load(m.nodeBase+r.Uint64n(m.nNodes)*64, 1)
+			}
+			// ~3 % of arcs enter the basis: write the arc and a node.
+			if r.Uint64n(32) == 0 {
+				e.store(m.arcBase+a*64, 2)
+				e.store(m.nodeBase+r.Uint64n(m.nNodes)*64, 1)
+			}
+		}
+	}
+}
