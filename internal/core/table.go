@@ -282,6 +282,40 @@ func (t *Table) LiveValues() []uint64 {
 	return out
 }
 
+// Poison corrupts the stored AES results for a live memoized value (fault
+// injection: an SRAM upset or deliberate tamper in the memoization table).
+// Until repaired, lookups of value serve a wrong pad — which the engine's
+// functional verification must catch. It reports whether value was live.
+func (t *Table) Poison(value uint64) bool {
+	for i := range t.groups {
+		g := &t.groups[i]
+		if g.contains(value, t.cfg.GroupSize) {
+			r := &g.results[value-g.start]
+			r.Enc.Lo ^= 0xbad0bad
+			r.Mac.Hi ^= 0xbad0bad
+			return true
+		}
+	}
+	return false
+}
+
+// Repair recomputes the stored results for value wherever it is memoized
+// (live group and MRU cache), healing a poisoned entry with a fresh AES
+// computation — the fall-back-to-baseline-AES recovery path.
+func (t *Table) Repair(value uint64) {
+	for i := range t.groups {
+		g := &t.groups[i]
+		if g.contains(value, t.cfg.GroupSize) {
+			g.results[value-g.start] = t.fill(value)
+		}
+	}
+	for i := range t.mru {
+		if t.mru[i].value == value {
+			t.mru[i].result = t.fill(value)
+		}
+	}
+}
+
 // Lookup consults the table for a counter value that just arrived from
 // memory. isRead marks lookups on behalf of read requests: those drive the
 // use-frequency counters and the over-max watchpoint statistics. On a miss

@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+	"rmcc/internal/sim"
+	"rmcc/internal/workload"
+)
+
+// testCampaign builds the standard campaign: canneal at test size under
+// RMCC/Morphable with the given recovery policy and schedule.
+func testCampaign(seed uint64, policy engine.RecoveryPolicy, sched Schedule) *Campaign {
+	eng := engine.DefaultConfig(engine.RMCC, counter.Morphable, 0)
+	eng.Recovery = policy
+	cfg := sim.DefaultLifetimeConfig(eng)
+	cfg.MaxAccesses = 300_000
+	cfg.Seed = seed
+	return &Campaign{
+		Workload: workload.NewCanneal(workload.SizeTest),
+		Lifetime: cfg,
+		Schedule: sched,
+	}
+}
+
+// TestCampaignDetectsAllFaults is the headline drill: one fault of every
+// kind on a canneal run. Every armed detection-required fault must be
+// detected and (under RekeyRecover) repaired; the benign controls must not
+// be flagged.
+func TestCampaignDetectsAllFaults(t *testing.T) {
+	sched := NewSchedule(7, nil, 300_000)
+	res, err := testCampaign(7, engine.RekeyRecover, sched).Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	t.Logf("campaign: %s", res.Summary())
+	for _, fr := range res.Faults {
+		t.Logf("  %v", fr)
+	}
+	if res.Injected != int(NumKinds) {
+		t.Fatalf("injected %d faults, want %d", res.Injected, NumKinds)
+	}
+	if res.TamperArmed == 0 {
+		t.Fatal("no detection-required fault armed")
+	}
+	if res.TamperDetected != res.TamperArmed {
+		t.Errorf("detected %d of %d armed tampers, want 100%%", res.TamperDetected, res.TamperArmed)
+	}
+	if res.Recovered != res.TamperArmed {
+		t.Errorf("recovered %d of %d armed tampers under RekeyRecover", res.Recovered, res.TamperArmed)
+	}
+	if res.BenignFlagged != 0 {
+		t.Errorf("%d benign faults flagged (false positives)", res.BenignFlagged)
+	}
+	// The drills re-keyed at least once (counter exhaust is in the
+	// schedule), and memoization re-converged afterwards.
+	if res.Lifetime.Engine.Rekeys == 0 {
+		t.Error("no re-key happened despite counter-exhaust drill")
+	}
+	if hr := res.PostFaultMemoHitRate(); hr <= 0.5 {
+		t.Errorf("post-fault memo hit rate %.3f, want > 0.5 (lookups=%d)",
+			hr, res.PostFaultMemoLookups)
+	}
+}
+
+// TestCampaignFailStopDetects verifies detection is policy-independent:
+// under FailStop the same tampers are detected (recovery is not required).
+func TestCampaignFailStopDetects(t *testing.T) {
+	kinds := []Kind{CiphertextFlip, MACTamper, Replay, CounterCorrupt}
+	sched := NewSchedule(11, kinds, 300_000)
+	res, err := testCampaign(11, engine.FailStop, sched).Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	t.Logf("campaign: %s", res.Summary())
+	if res.TamperArmed != len(kinds) {
+		t.Fatalf("armed %d of %d", res.TamperArmed, len(kinds))
+	}
+	if res.TamperDetected != res.TamperArmed {
+		t.Errorf("detected %d of %d armed tampers under FailStop", res.TamperDetected, res.TamperArmed)
+	}
+	// FailStop performs no repair: a persistently corrupted block must NOT
+	// count as recovered.
+	if res.Recovered == res.TamperArmed {
+		t.Error("every fault recovered under FailStop; expected persistent damage")
+	}
+}
+
+// TestCampaignControlRunClean is the false-positive control: the identical
+// run with an empty schedule must finish with zero violations of any kind.
+func TestCampaignControlRunClean(t *testing.T) {
+	res, err := testCampaign(7, engine.RekeyRecover, nil).Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if res.Checker.Total != 0 {
+		t.Errorf("checker flagged a fault-free run: %v", res.Checker)
+	}
+	s := res.Lifetime.Engine
+	for k, n := range s.ViolationsByKind {
+		if n != 0 {
+			t.Errorf("fault-free run recorded %d violations of kind %v", n, engine.ViolationKind(k))
+		}
+	}
+	if s.IntegrityFailures != 0 || s.DecryptMismatches != 0 {
+		t.Errorf("fault-free run: %d MAC failures, %d decrypt mismatches",
+			s.IntegrityFailures, s.DecryptMismatches)
+	}
+	if s.Rekeys != 0 {
+		t.Errorf("fault-free run re-keyed %d times", s.Rekeys)
+	}
+}
+
+// TestCampaignDeterministic reruns the full campaign with the same seed
+// and requires byte-identical results — the reproducibility contract.
+func TestCampaignDeterministic(t *testing.T) {
+	sched := NewSchedule(13, nil, 300_000)
+	render := func() string {
+		res, err := testCampaign(13, engine.RekeyRecover, sched).Run()
+		if err != nil {
+			t.Fatalf("campaign: %v", err)
+		}
+		return fmt.Sprintf("%+v", res)
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Error("identical seeds produced different campaign results")
+	}
+}
+
+// TestScheduleDeterministic pins schedule generation itself.
+func TestScheduleDeterministic(t *testing.T) {
+	a := NewSchedule(42, nil, 1_000_000)
+	b := NewSchedule(42, nil, 1_000_000)
+	if fmt.Sprintf("%v", a) != fmt.Sprintf("%v", b) {
+		t.Error("identical seeds produced different schedules")
+	}
+	c := NewSchedule(43, nil, 1_000_000)
+	if fmt.Sprintf("%v", a) == fmt.Sprintf("%v", c) {
+		t.Error("different seeds produced identical schedules")
+	}
+	if len(a) != int(NumKinds) {
+		t.Errorf("schedule has %d faults, want one per kind (%d)", len(a), NumKinds)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].AtAccess < a[i-1].AtAccess {
+			t.Error("schedule not ordered by injection point")
+		}
+	}
+}
+
+// TestCampaignRejectsInvalidConfig exercises the validation front door.
+func TestCampaignRejectsInvalidConfig(t *testing.T) {
+	c := testCampaign(1, engine.RekeyRecover, nil)
+	c.Lifetime.Engine.CounterCacheBytes = 0
+	if _, err := c.Run(); err == nil {
+		t.Fatal("campaign accepted an invalid engine config")
+	}
+}

@@ -1,0 +1,181 @@
+// Package fault injects seeded, reproducible hardware faults and physical
+// attacks into a running secure-memory simulation and scores the engine's
+// detection and recovery behaviour.
+//
+// A Schedule is a deterministic fault plan (kind + injection point + target
+// entropy). A Campaign replays any workload through the lifetime driver,
+// injects each scheduled fault via the engine's typed injection hooks, and
+// probes the controller to observe whether the fault was detected (a typed
+// IntegrityError on the probing access's Outcome, a re-key, or a checker
+// violation) and whether the configured RecoveryPolicy repaired it. Benign
+// events — duplicated writebacks, power loss — are part of every schedule
+// as false-positive controls: flagging them is scored against the engine.
+//
+// Everything is derived from explicit seeds: the same seed, workload, and
+// configuration reproduce the same injections, detections, and statistics
+// byte for byte.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"rmcc/internal/rng"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+// Fault kinds. The first group must be detected; the Benign group must not.
+const (
+	// CiphertextFlip flips bits in a block's DRAM ciphertext (rowhammer,
+	// bus attack). Detection: MAC check on the next read.
+	CiphertextFlip Kind = iota
+	// MACTamper flips bits in a block's stored MAC. Detection: MAC check.
+	MACTamper
+	// Replay rolls a block's DRAM image back to a previously captured
+	// (ciphertext, MAC) pair after the counter advanced. Detection: MAC
+	// check under the current counter.
+	Replay
+	// CounterCorrupt overwrites a data block's stored write counter while
+	// its ciphertext stays sealed under the old value. Detection: MAC
+	// check (the decryption pad no longer matches).
+	CounterCorrupt
+	// TreeCounterCorrupt rolls an integrity-tree (L1) counter backwards.
+	// Detection: the checker's tree-regression scan; recovery is the
+	// whole-memory re-key (reboot on unrecoverable metadata violation).
+	TreeCounterCorrupt
+	// MemoPoison corrupts a live memoization-table entry (SRAM upset).
+	// Detection: the engine cross-checks served entries against a fresh
+	// AES computation, repairs the entry, and falls back to the pipeline.
+	MemoPoison
+	// CacheTagCorrupt inserts a dirty counter-cache line whose address
+	// maps to no metadata block (corrupted tag). Detection: address
+	// classification at writeback; the line is dropped.
+	CacheTagCorrupt
+	// DroppedWriteback loses a block's writeback on the bus: the counter
+	// advances but the DRAM image stays stale. Detection: MAC check on
+	// the next read.
+	DroppedWriteback
+	// TransientBitFlip garbles one fetch of a block on the bus and then
+	// clears — the fault class RetryRefetch recovers without escalation.
+	TransientBitFlip
+	// CounterExhaust forces a counter group to the architectural 56-bit
+	// ceiling so the next write must trigger the whole-memory re-key
+	// ("reboot") rather than reuse a pad.
+	CounterExhaust
+
+	// DuplicatedWriteback re-issues a block's last DRAM write. Idempotent
+	// and harmless: a detection here is a false positive.
+	DuplicatedWriteback
+	// PowerLoss drops all volatile controller state (counter cache,
+	// memoization tables) mid-run. Counters persist; decryptions must
+	// stay correct, so a detection here is a false positive.
+	PowerLoss
+
+	// NumKinds sizes per-kind arrays.
+	NumKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case CiphertextFlip:
+		return "ciphertext-flip"
+	case MACTamper:
+		return "mac-tamper"
+	case Replay:
+		return "replay"
+	case CounterCorrupt:
+		return "counter-corrupt"
+	case TreeCounterCorrupt:
+		return "tree-counter-corrupt"
+	case MemoPoison:
+		return "memo-poison"
+	case CacheTagCorrupt:
+		return "cache-tag-corrupt"
+	case DroppedWriteback:
+		return "dropped-writeback"
+	case TransientBitFlip:
+		return "transient-bit-flip"
+	case CounterExhaust:
+		return "counter-exhaust"
+	case DuplicatedWriteback:
+		return "duplicated-writeback"
+	case PowerLoss:
+		return "power-loss"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Benign reports whether the kind must NOT trigger detection (it is a
+// false-positive control).
+func (k Kind) Benign() bool {
+	return k == DuplicatedWriteback || k == PowerLoss
+}
+
+// AllKinds returns every injectable kind, detection-required first.
+func AllKinds() []Kind {
+	ks := make([]Kind, NumKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// Fault is one scheduled injection.
+type Fault struct {
+	Kind Kind
+	// AtAccess is the 1-based CPU-access ordinal after which the fault is
+	// injected (0 injects before the stream starts).
+	AtAccess uint64
+	// Salt feeds deterministic target selection (which block, which table
+	// value) so reruns with the same schedule hit the same state.
+	Salt uint64
+}
+
+// String renders the injection.
+func (f Fault) String() string {
+	return fmt.Sprintf("%v@%d", f.Kind, f.AtAccess)
+}
+
+// Schedule is a reproducible fault plan, ordered by injection point.
+type Schedule []Fault
+
+// NewSchedule derives a schedule from seed: one fault of each requested
+// kind, spread deterministically over the first half of a span-access run
+// (leaving the second half for post-fault recovery and re-convergence
+// measurements). Pass kinds==nil for every kind.
+func NewSchedule(seed uint64, kinds []Kind, span uint64) Schedule {
+	if kinds == nil {
+		kinds = AllKinds()
+	}
+	r := rng.New(seed ^ 0xfa017fa017)
+	lo := span / 10
+	hi := span / 2
+	if hi <= lo {
+		hi = lo + uint64(len(kinds)) + 1
+	}
+	s := make(Schedule, 0, len(kinds))
+	for _, k := range kinds {
+		s = append(s, Fault{
+			Kind:     k,
+			AtAccess: lo + r.Uint64n(hi-lo),
+			Salt:     r.Uint64(),
+		})
+	}
+	s.sort()
+	return s
+}
+
+// sort orders the schedule by injection point (stable on kind for equal
+// points, keeping reruns byte-identical).
+func (s Schedule) sort() {
+	sort.SliceStable(s, func(i, j int) bool {
+		if s[i].AtAccess != s[j].AtAccess {
+			return s[i].AtAccess < s[j].AtAccess
+		}
+		return s[i].Kind < s[j].Kind
+	})
+}

@@ -430,6 +430,36 @@ func (s *Store) RelevelTree(l, c int, target uint64) []int {
 	return children
 }
 
+// --- Fault injection and re-key ---
+
+// CorruptDataCounter overwrites data block i's counter with an arbitrary
+// value, bypassing every invariant (monotonicity, encodability, the
+// observed-max register). It models a physical attack or DRAM fault on the
+// counter storage itself; the engine's MAC check and the checker's
+// regression scan are expected to flag the damage. Never call it from
+// policy code.
+func (s *Store) CorruptDataCounter(i int, v uint64) { s.vals[i] = v }
+
+// CorruptTreeCounter overwrites the level-l counter protecting child c,
+// bypassing every invariant — the tree analog of CorruptDataCounter.
+func (s *Store) CorruptTreeCounter(l, c int, v uint64) { s.tree[l][c] = v }
+
+// ResetCounters zeroes every data and tree counter and the observed-max
+// register: the whole-memory re-key ("reboot"). Under a fresh key the
+// (key, counter) pad space restarts, so zero counters are safe again. The
+// cumulative Overflows tallies are preserved.
+func (s *Store) ResetCounters() {
+	for i := range s.vals {
+		s.vals[i] = 0
+	}
+	for l := 1; l < len(s.tree); l++ {
+		for x := range s.tree[l] {
+			s.tree[l][x] = 0
+		}
+	}
+	s.observedMax = 0
+}
+
 // --- Initialization ---
 
 // RandomizeOptions controls counter randomization (the paper's careful

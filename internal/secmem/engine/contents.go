@@ -1,6 +1,9 @@
 package engine
 
-import "rmcc/internal/crypto/otp"
+import (
+	"rmcc/internal/crypto/otp"
+	"rmcc/internal/secmem/counter"
+)
 
 // contentStore maintains a functional image of memory: the plaintext the
 // CPU believes is stored, the ciphertext actually in DRAM, and each block's
@@ -15,15 +18,23 @@ type contentStore struct {
 	macs   map[int]uint64
 	// version feeds deterministic plaintext generation per write.
 	version map[int]uint64
+	// transient holds per-block counts of armed transient (bus) faults:
+	// the next N verifications of the block fail, then the fault clears.
+	transient map[int]int
+	// dropNext marks blocks whose next writeback is lost on the bus: the
+	// logical contents advance but the DRAM image stays stale.
+	dropNext map[int]bool
 }
 
 func newContentStore(unit *otp.Unit) *contentStore {
 	return &contentStore{
-		unit:    unit,
-		plain:   make(map[int][8]uint64),
-		cipher:  make(map[int][8]uint64),
-		macs:    make(map[int]uint64),
-		version: make(map[int]uint64),
+		unit:      unit,
+		plain:     make(map[int][8]uint64),
+		cipher:    make(map[int][8]uint64),
+		macs:      make(map[int]uint64),
+		version:   make(map[int]uint64),
+		transient: make(map[int]int),
+		dropNext:  make(map[int]bool),
 	}
 }
 
@@ -51,10 +62,19 @@ func (cs *contentStore) seal(i int, ctr, addr uint64, plain [8]uint64) {
 	cs.plain[i] = plain
 }
 
-// writeBlock encrypts fresh contents for block i under ctr.
+// writeBlock encrypts fresh contents for block i under ctr. An armed
+// dropped-writeback fault advances the logical contents but leaves the DRAM
+// image stale (sealed under the previous counter), so the next read fails
+// verification.
 func (cs *contentStore) writeBlock(i int, ctr, addr uint64) {
 	cs.version[i]++
-	cs.seal(i, ctr, addr, plaintextFor(i, cs.version[i]))
+	plain := plaintextFor(i, cs.version[i])
+	if cs.dropNext[i] {
+		delete(cs.dropNext, i)
+		cs.plain[i] = plain
+		return
+	}
+	cs.seal(i, ctr, addr, plain)
 }
 
 // reencrypt re-seals the existing plaintext under a new counter (relevel or
@@ -73,6 +93,16 @@ func (cs *contentStore) reencrypt(i int, ctr, addr uint64) {
 // Blocks never written are lazily installed (their DRAM image was sealed at
 // initialization under the randomized counter).
 func (cs *contentStore) verifyRead(i int, ctr, addr uint64) (plaintextOK, macOK bool) {
+	if n := cs.transient[i]; n > 0 {
+		// Armed transient fault: the fetched block arrives garbled off the
+		// bus, independent of the stored image; a re-fetch may succeed.
+		if n == 1 {
+			delete(cs.transient, i)
+		} else {
+			cs.transient[i] = n - 1
+		}
+		return false, false
+	}
 	if _, ok := cs.cipher[i]; !ok {
 		cs.reencrypt(i, ctr, addr)
 	}
@@ -86,38 +116,65 @@ func (cs *contentStore) verifyRead(i int, ctr, addr uint64) (plaintextOK, macOK 
 	return plaintextOK, macOK
 }
 
+// rekey re-seals every tracked block under the new unit and the
+// post-reboot counters (all zero), modeling the reboot's whole-memory
+// re-encryption sweep. Armed transient/drop faults are cleared: the sweep
+// rewrites every block.
+func (cs *contentStore) rekey(unit *otp.Unit, store *counter.Store) {
+	cs.unit = unit
+	for i := range cs.cipher {
+		if _, ok := cs.plain[i]; !ok {
+			// Image injected without ground truth (e.g. a replayed
+			// ciphertext): restore the block's logical contents.
+			cs.plain[i] = plaintextFor(i, cs.version[i])
+		}
+	}
+	for i, plain := range cs.plain {
+		cs.seal(i, store.DataCounter(i), store.DataBlockAddr(i), plain)
+	}
+	cs.transient = make(map[int]int)
+	cs.dropNext = make(map[int]bool)
+}
+
 // TamperCiphertext flips bits in block i's stored ciphertext, simulating a
-// physical attack. The next read must fail its MAC check.
-func (mc *MC) TamperCiphertext(i int) {
+// physical attack. The next read must fail its MAC check. Returns
+// ErrContentsDisabled when the controller does not track contents.
+func (mc *MC) TamperCiphertext(i int) error {
 	if mc.contents == nil {
-		panic("engine: TamperCiphertext requires TrackContents")
+		return ErrContentsDisabled
 	}
 	if _, ok := mc.contents.cipher[i]; !ok {
 		mc.contents.reencrypt(i, mc.store.DataCounter(i), mc.store.DataBlockAddr(i))
 	}
 	ct := mc.contents.cipher[i]
-	ct[0] ^= 0xdeadbeef
+	// Odd-constant addition rather than XOR: repeated tampering never
+	// round-trips back to the original ciphertext.
+	ct[0] += 0xdeadbeef
 	mc.contents.cipher[i] = ct
 	// The recorded plaintext no longer matches either; keep it so the
 	// decrypt-mismatch counter also fires.
+	return nil
 }
 
 // ReplayOldCiphertext overwrites block i's DRAM image with a stale
 // (ciphertext, MAC) pair captured earlier, simulating a replay attack; the
-// counter has moved on, so the MAC check must fail.
-func (mc *MC) ReplayOldCiphertext(i int, oldCipher [8]uint64, oldMAC uint64) {
+// counter has moved on, so the MAC check must fail. Returns
+// ErrContentsDisabled when the controller does not track contents.
+func (mc *MC) ReplayOldCiphertext(i int, oldCipher [8]uint64, oldMAC uint64) error {
 	if mc.contents == nil {
-		panic("engine: ReplayOldCiphertext requires TrackContents")
+		return ErrContentsDisabled
 	}
 	mc.contents.cipher[i] = oldCipher
 	mc.contents.macs[i] = oldMAC
+	return nil
 }
 
 // SnapshotCiphertext captures block i's current DRAM image for replay
-// tests.
+// tests. Without TrackContents it returns zero values (nothing to
+// snapshot).
 func (mc *MC) SnapshotCiphertext(i int) ([8]uint64, uint64) {
 	if mc.contents == nil {
-		panic("engine: SnapshotCiphertext requires TrackContents")
+		return [8]uint64{}, 0
 	}
 	if _, ok := mc.contents.cipher[i]; !ok {
 		mc.contents.reencrypt(i, mc.store.DataCounter(i), mc.store.DataBlockAddr(i))

@@ -91,6 +91,60 @@ type Config struct {
 	// application lifetimes). Set to 0 to start cold and watch organic
 	// convergence instead (the convergence experiment does exactly that).
 	WarmStartFrac float64
+
+	// Recovery selects the response to detected integrity violations
+	// (fail-stop, retry-refetch, or re-key). Counter overflow at the
+	// 56-bit ceiling always triggers the re-key/reboot regardless of this
+	// knob — the architecture has no other sound response.
+	Recovery RecoveryPolicy
+	// RetryLimit bounds re-fetch attempts under RetryRefetch/RekeyRecover
+	// (transient bus faults clear on re-read; persistent corruption
+	// escalates). Zero disables retries.
+	RetryLimit int
+}
+
+// Validate checks the configuration, wrapping every failure in
+// ErrInvalidConfig so callers can classify with errors.Is.
+func (cfg Config) Validate() error {
+	if cfg.Mode < NonSecure || cfg.Mode > RMCC {
+		return fmt.Errorf("%w: unknown mode %d", ErrInvalidConfig, int(cfg.Mode))
+	}
+	if cfg.Recovery < FailStop || cfg.Recovery > RekeyRecover {
+		return fmt.Errorf("%w: unknown recovery policy %d", ErrInvalidConfig, int(cfg.Recovery))
+	}
+	if cfg.RetryLimit < 0 {
+		return fmt.Errorf("%w: negative RetryLimit %d", ErrInvalidConfig, cfg.RetryLimit)
+	}
+	if cfg.Mode == NonSecure {
+		return nil
+	}
+	if cfg.Scheme.Coverage() == 0 {
+		return fmt.Errorf("%w: unknown counter scheme %d", ErrInvalidConfig, int(cfg.Scheme))
+	}
+	if cfg.MemBytes == 0 || cfg.MemBytes%counter.BlockBytes != 0 {
+		return fmt.Errorf("%w: MemBytes %d not a positive multiple of %d",
+			ErrInvalidConfig, cfg.MemBytes, counter.BlockBytes)
+	}
+	ccfg := cache.Config{
+		SizeBytes: cfg.CounterCacheBytes,
+		Ways:      cfg.CounterCacheWays,
+		LineBytes: counter.BlockBytes,
+	}
+	if err := ccfg.Validate(); err != nil {
+		return fmt.Errorf("%w: counter cache: %v", ErrInvalidConfig, err)
+	}
+	if cfg.WarmStartFrac < 0 || cfg.WarmStartFrac > 1 {
+		return fmt.Errorf("%w: WarmStartFrac %v out of [0,1]", ErrInvalidConfig, cfg.WarmStartFrac)
+	}
+	if cfg.Mode == RMCC {
+		if err := cfg.L0Table.Validate(); err != nil {
+			return fmt.Errorf("%w: L0 table: %v", ErrInvalidConfig, err)
+		}
+		if err := cfg.L1Table.Validate(); err != nil {
+			return fmt.Errorf("%w: L1 table: %v", ErrInvalidConfig, err)
+		}
+	}
+	return nil
 }
 
 // DefaultConfig returns a Table-I configuration of the given mode/scheme.
@@ -107,6 +161,7 @@ func DefaultConfig(mode Mode, scheme counter.Scheme, memBytes uint64) Config {
 		InitSeed:          1,
 		RandomizeInit:     true,
 		WarmStartFrac:     0.9,
+		RetryLimit:        2,
 	}
 }
 
@@ -156,6 +211,25 @@ type Outcome struct {
 	// Stalled marks accesses the MC rejected because two overflows were
 	// already outstanding (the detailed simulator retries them).
 	Accelerated bool // the §VI headline condition for this miss
+
+	// Violations lists every integrity violation the MC detected while
+	// processing this access (typed; nil on clean accesses). Entries with
+	// Recovered set were repaired in-line per the RecoveryPolicy.
+	Violations []*IntegrityError
+	// Rekeyed reports that this access triggered the whole-memory
+	// re-key/reboot (56-bit counter ceiling, or RekeyRecover escalation).
+	Rekeyed bool
+}
+
+// Err returns the first unrecovered violation of the access, or nil. It is
+// the error-shaped view of Violations for fail-stop callers.
+func (o *Outcome) Err() error {
+	for _, v := range o.Violations {
+		if !v.Recovered {
+			return v
+		}
+	}
+	return nil
 }
 
 // MC is the secure memory controller. Not safe for concurrent use.
@@ -173,30 +247,42 @@ type MC struct {
 
 	contents *contentStore
 
+	// keyEpoch counts whole-memory re-keys (0 at boot).
+	keyEpoch uint64
+	// pending collects violations detected while processing the current
+	// access; drained onto its Outcome.
+	pending []*IntegrityError
+	// needRekey defers a re-key triggered mid-walk (tree-counter ceiling,
+	// RekeyRecover escalation) to the end of the current access.
+	needRekey bool
+
 	stats Stats
 }
 
 // New builds a memory controller; it panics on invalid configuration (the
-// configuration is experiment-defined, not user input).
+// configuration is experiment-defined, not user input). Use NewChecked to
+// handle configuration errors instead.
 func New(cfg Config) *MC {
-	if cfg.MemBytes == 0 || cfg.MemBytes%counter.BlockBytes != 0 {
-		panic(fmt.Sprintf("engine: MemBytes %d not block-aligned", cfg.MemBytes))
+	mc, err := NewChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return mc
+}
+
+// NewChecked builds a memory controller, returning an error (wrapping
+// ErrInvalidConfig) instead of panicking on invalid configuration.
+func NewChecked(cfg Config) (*MC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	mc := &MC{cfg: cfg}
 	if cfg.Mode == NonSecure {
-		return mc
+		return mc, nil
 	}
 	mc.store = counter.NewStore(cfg.Scheme, cfg.MemBytes)
-	mc.ctrCache = cache.New(cache.Config{
-		SizeBytes: cfg.CounterCacheBytes,
-		Ways:      cfg.CounterCacheWays,
-		LineBytes: counter.BlockBytes,
-	})
-	keyLen := 16
-	if cfg.AES256 {
-		keyLen = 32
-	}
-	mc.unit = otp.MustNewUnit(otp.DeriveKeys(cfg.KeyMaster, keyLen))
+	mc.ctrCache = mc.newCounterCache()
+	mc.unit = mc.deriveUnit()
 	mc.observedTreeMax = make([]uint64, mc.store.Levels()+1)
 	if cfg.RandomizeInit {
 		mc.store.Randomize(rng.New(cfg.InitSeed), counter.DefaultRandomize())
@@ -212,9 +298,7 @@ func New(cfg Config) *MC {
 		}
 	}
 	if cfg.Mode == RMCC {
-		fill := func(v uint64) otp.CtrResult { return mc.unit.CounterOnly(v) }
-		mc.l0Table = core.MustNewTable(cfg.L0Table, fill, func() uint64 { return mc.store.ObservedMax() })
-		mc.l1Table = core.MustNewTable(cfg.L1Table, fill, func() uint64 { return mc.observedTreeMax[1] })
+		mc.buildTables()
 		if cfg.RandomizeInit && cfg.WarmStartFrac > 0 {
 			mc.warmStart()
 		}
@@ -222,7 +306,38 @@ func New(cfg Config) *MC {
 	if cfg.TrackContents {
 		mc.contents = newContentStore(mc.unit)
 	}
-	return mc
+	return mc, nil
+}
+
+// deriveUnit builds the OTP unit for the current key epoch: the master key
+// is mixed with the epoch so every re-key yields an independent key set.
+func (mc *MC) deriveUnit() *otp.Unit {
+	master := mc.cfg.KeyMaster
+	for b := 0; b < 8; b++ {
+		master[8+b] ^= byte(mc.keyEpoch >> (8 * uint(b)))
+	}
+	keyLen := 16
+	if mc.cfg.AES256 {
+		keyLen = 32
+	}
+	return otp.MustNewUnit(otp.DeriveKeys(master, keyLen))
+}
+
+// newCounterCache builds a cold counter cache from the configuration.
+func (mc *MC) newCounterCache() *cache.Cache {
+	return cache.New(cache.Config{
+		SizeBytes: mc.cfg.CounterCacheBytes,
+		Ways:      mc.cfg.CounterCacheWays,
+		LineBytes: counter.BlockBytes,
+	})
+}
+
+// buildTables (re)builds cold memoization tables seeded with the low
+// counter range, discarding any previous contents.
+func (mc *MC) buildTables() {
+	fill := func(v uint64) otp.CtrResult { return mc.unit.CounterOnly(v) }
+	mc.l0Table = core.MustNewTable(mc.cfg.L0Table, fill, func() uint64 { return mc.store.ObservedMax() })
+	mc.l1Table = core.MustNewTable(mc.cfg.L1Table, fill, func() uint64 { return mc.observedTreeMax[1] })
 }
 
 // warmStart rebases most counter groups onto a set of hot counter values
@@ -306,6 +421,11 @@ func (mc *MC) L1Table() *core.Table { return mc.l1Table }
 
 // Unit exposes the OTP unit (examples, tests).
 func (mc *MC) Unit() *otp.Unit { return mc.unit }
+
+// KeyEpoch returns the current key generation: 0 at boot, incremented by
+// every whole-memory re-key. The checker uses it to tell a legitimate
+// post-reboot counter reset from a rollback attack.
+func (mc *MC) KeyEpoch() uint64 { return mc.keyEpoch }
 
 // OnEpochAccess advances the memoization tables' epoch clocks by one
 // memory access. The simulator calls it once per LLC-level access.

@@ -1,9 +1,8 @@
 package engine
 
 import (
-	"fmt"
-
 	"rmcc/internal/mem/dram"
+	"rmcc/internal/secmem/counter"
 )
 
 // ensureCounterBlock brings a metadata block (L0 counter block or tree
@@ -23,13 +22,21 @@ func (mc *MC) ensureCounterBlock(addr uint64, dirty bool, out *[]Traffic, overfl
 }
 
 // writebackCounterBlock writes a dirty metadata block to DRAM and bumps its
-// parent counter (the block's own write counter lives one level up).
+// parent counter (the block's own write counter lives one level up). A line
+// whose address maps to no metadata block — a corrupted tag — is dropped
+// without a DRAM write or parent update, and the corruption is recorded as
+// a typed violation on the current access's Outcome.
 func (mc *MC) writebackCounterBlock(addr uint64, out *[]Traffic, overflow *[]Traffic) {
-	*out = append(*out, Traffic{Addr: addr, Write: true, Kind: dram.KindCounter})
 	level, idx, ok := mc.store.ClassifyAddr(addr)
 	if !ok {
-		panic(fmt.Sprintf("engine: counter cache held non-metadata address %#x", addr))
+		mc.stats.MetadataCorruptions++
+		mc.recordViolation(&IntegrityError{
+			Kind: ViolationMetadataAddr, Addr: addr, Block: -1, Recovered: true,
+			Detail: "line dropped without writeback or parent update",
+		})
+		return
 	}
+	*out = append(*out, Traffic{Addr: addr, Write: true, Kind: dram.KindCounter})
 	mc.bumpTreeCounter(level+1, idx, out, overflow)
 }
 
@@ -46,6 +53,19 @@ func (mc *MC) bumpTreeCounter(l, childIdx int, out *[]Traffic, overflow *[]Traff
 
 	cur := mc.store.TreeCounter(l, childIdx)
 	next := cur + 1
+
+	// Tree-counter ceiling: an integrity-tree counter at the 56-bit limit
+	// cannot advance; defer the whole-memory re-key to the end of the
+	// current access (the cache walk in flight must not be yanked mid-way).
+	if next > counter.MaxCounter {
+		mc.stats.CounterOverflows++
+		mc.recordViolation(&IntegrityError{
+			Kind: ViolationCounterOverflow, Addr: parentAddr, Block: -1, Recovered: true,
+			Detail: "tree counter at the 56-bit ceiling; re-key deferred to end of access",
+		})
+		mc.needRekey = true
+		return
+	}
 
 	// RMCC: memoization-aware update for L1 counters (the level the L1
 	// table memoizes), budget-gated like the data path.

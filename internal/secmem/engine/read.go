@@ -31,10 +31,31 @@ func (mc *MC) Read(addr uint64) Outcome {
 		mc.stats.CtrL0ReadMisses++
 	}
 
+	// Functional content check first: the fetched block is decrypted and
+	// verified under its current counter before any read-triggered update
+	// re-encrypts it (re-sealing before verification would erase tamper
+	// evidence). Applies the configured RecoveryPolicy on failure.
+	if mc.contents != nil {
+		mc.verifyAndRecover(i, addr&^63)
+	}
+
 	if mc.cfg.Mode == RMCC && mc.l0Table != nil {
 		// Figure-19 metric: every accessed counter value, hit or miss.
 		mc.stats.L0MemoLookupsAll++
-		_, src := mc.l0Table.Lookup(ctrVal, true)
+		res, src := mc.l0Table.Lookup(ctrVal, true)
+		if src != core.MissSource && res != mc.unit.CounterOnly(ctrVal) {
+			// Poisoned memoization entry: the stored AES result disagrees
+			// with a fresh computation. Repair the entry in place and fall
+			// back to the baseline AES pipeline (treat as a memo miss).
+			mc.stats.MemoPoisonDetected++
+			mc.recordViolation(&IntegrityError{
+				Kind: ViolationMemoPoison, Addr: addr, Block: i, Recovered: true,
+				Detail: "entry re-filled; served by the AES pipeline",
+			})
+			mc.l0Table.Repair(ctrVal)
+			mc.stats.MemoPoisonRepaired++
+			src = core.MissSource
+		}
 		if src != core.MissSource {
 			mc.stats.L0MemoHitsAll++
 		}
@@ -65,24 +86,69 @@ func (mc *MC) Read(addr uint64) Outcome {
 		}
 	}
 
-	// Functional content check: decrypt and verify against ground truth.
-	if mc.contents != nil {
-		ok, macOK := mc.contents.verifyRead(i, mc.store.DataCounter(i), addr&^63)
-		if !ok {
-			mc.stats.DecryptMismatches++
-		}
-		if !macOK {
-			mc.stats.IntegrityFailures++
-		}
-	}
-
 	for _, t := range out.Extra {
 		mc.addTraffic(t)
 	}
 	for _, t := range out.OverflowTraffic {
 		mc.addTraffic(t)
 	}
+	mc.finish(&out)
 	return out
+}
+
+// verifyAndRecover decrypts and verifies block i, then applies the
+// configured RecoveryPolicy to any failure: FailStop records the violation
+// and moves on; RetryRefetch re-fetches up to RetryLimit times, clearing
+// transient faults; RekeyRecover additionally escalates persistent failures
+// to the whole-memory re-key (executed by finish).
+func (mc *MC) verifyAndRecover(i int, blockAddr uint64) {
+	ptOK, macOK := mc.contents.verifyRead(i, mc.store.DataCounter(i), blockAddr)
+	if ptOK && macOK {
+		return
+	}
+	firstPt, firstMac := ptOK, macOK
+	recovered := false
+	if mc.cfg.Recovery != FailStop {
+		for r := 0; r < mc.cfg.RetryLimit; r++ {
+			mc.stats.RetryAttempts++
+			mc.stats.TrafficBlocks[dram.KindData]++ // the re-fetch
+			ptOK, macOK = mc.contents.verifyRead(i, mc.store.DataCounter(i), blockAddr)
+			if ptOK && macOK {
+				recovered = true
+				mc.stats.RetryRecoveries++
+				break
+			}
+		}
+	}
+	kind, detail := ViolationMAC, "MAC check failed on read"
+	if !firstMac && !firstPt {
+		detail = "MAC and plaintext checks failed on read"
+	} else if firstMac && !firstPt {
+		kind, detail = ViolationPlaintext, "plaintext mismatch with passing MAC"
+	}
+	if recovered {
+		mc.recordViolation(&IntegrityError{
+			Kind: kind, Addr: blockAddr, Block: i, Recovered: true,
+			Detail: "transient fault cleared by re-fetch",
+		})
+		return
+	}
+	// Persistent failure: keep the legacy tamper counters accurate, then
+	// either fail-stop or escalate per policy.
+	if !firstPt {
+		mc.stats.DecryptMismatches++
+	}
+	if !firstMac {
+		mc.stats.IntegrityFailures++
+	}
+	v := &IntegrityError{Kind: kind, Addr: blockAddr, Block: i, Detail: detail}
+	if mc.cfg.Recovery == RekeyRecover {
+		v.Recovered = true
+		v.Detail += "; escalated to whole-memory re-key"
+		mc.needRekey = true
+		mc.stats.RekeyRecoveries++
+	}
+	mc.recordViolation(v)
 }
 
 // readTriggeredUpdate raises a read block's counter onto a memoized value

@@ -51,6 +51,21 @@ type Stats struct {
 	// zero in untampered runs (enforced by integration tests).
 	IntegrityFailures uint64
 	DecryptMismatches uint64
+
+	// Fault detection and recovery (see errors.go / fault.go).
+	ViolationsByKind     [NumViolationKinds]uint64 // detections by class
+	MetadataCorruptions  uint64                    // non-metadata addresses caught in the counter cache
+	MemoPoisonDetected   uint64                    // poisoned memo entries caught at lookup
+	MemoPoisonRepaired   uint64                    // poisoned entries re-filled in place
+	RetryAttempts        uint64                    // re-fetches issued under RetryRefetch/RekeyRecover
+	RetryRecoveries      uint64                    // violations cleared by a retry (transient faults)
+	RekeyRecoveries      uint64                    // violations escalated to the re-key path
+	CounterOverflows     uint64                    // 56-bit ceiling hits forcing a re-key
+	Rekeys               uint64                    // whole-memory re-key/reboot events
+	RekeyBlocks          uint64                    // block transfers spent re-encrypting memory
+	DroppedWritebacks    uint64                    // injected lost writes
+	DuplicatedWritebacks uint64                    // injected duplicate writes (benign)
+	PowerLosses          uint64                    // injected power-loss events
 }
 
 // TotalTraffic returns total block transfers across all kinds.

@@ -1,6 +1,9 @@
 package engine
 
-import "rmcc/internal/mem/dram"
+import (
+	"rmcc/internal/mem/dram"
+	"rmcc/internal/secmem/counter"
+)
 
 // Write processes one LLC writeback to the data block containing addr:
 // counter update per the active policy, encryption and MAC of the block,
@@ -25,6 +28,22 @@ func (mc *MC) Write(addr uint64) Outcome {
 		mc.stats.CtrL0Hits++
 	} else {
 		mc.stats.CtrL0Misses++
+	}
+
+	// 56-bit counter ceiling (paper §VII): when this write's increment — or
+	// the relevel it could force — cannot be represented, the architecture
+	// re-keys all of memory ("reboot") and the write proceeds in the fresh
+	// epoch with every counter reset.
+	if mc.store.DataCounter(i) >= counter.MaxCounter || mc.groupMax(i) >= counter.MaxCounter {
+		mc.stats.CounterOverflows++
+		mc.recordViolation(&IntegrityError{
+			Kind: ViolationCounterOverflow, Addr: addr, Block: i, Recovered: true,
+			Detail: "56-bit ceiling reached; whole-memory re-key",
+		})
+		mc.rekey(&out)
+		// The re-key dropped the counter cache; bring the (fresh) counter
+		// block back for the write itself.
+		mc.ensureCounterBlock(mc.store.L0BlockAddr(l0Idx), true, &out.Extra, &out.OverflowTraffic)
 	}
 
 	cur := mc.store.DataCounter(i)
@@ -108,5 +127,6 @@ func (mc *MC) Write(addr uint64) Outcome {
 	for _, t := range out.OverflowTraffic {
 		mc.addTraffic(t)
 	}
+	mc.finish(&out)
 	return out
 }

@@ -35,6 +35,14 @@ type LifetimeConfig struct {
 	// MaxAccesses bounds the CPU-level access stream.
 	MaxAccesses uint64
 	Seed        uint64
+
+	// OnController, when set, receives the constructed MC before the access
+	// stream starts — the attachment point for fault campaigns and extra
+	// instrumentation.
+	OnController func(mc *engine.MC)
+	// OnAccess, when set, runs after every CPU access with the 1-based
+	// access ordinal and the MC — the fault campaign's injection point.
+	OnAccess func(n uint64, mc *engine.MC)
 }
 
 // DefaultLifetimeConfig mirrors the paper's Pintool configuration.
@@ -85,6 +93,9 @@ func RunLifetime(w workload.Workload, cfg LifetimeConfig) LifetimeResult {
 	engCfg := cfg.Engine
 	engCfg.MemBytes = physBytes
 	mc := engine.New(engCfg)
+	if cfg.OnController != nil {
+		cfg.OnController(mc)
+	}
 
 	tlb4k := tlb.New(tlb.Config{Entries: cfg.TLBEntries, Ways: 12, PageBytes: 4 << 10})
 	tlb2m := tlb.New(tlb.Config{Entries: cfg.TLBEntries, Ways: 12, PageBytes: 2 << 20})
@@ -112,6 +123,9 @@ func RunLifetime(w workload.Workload, cfg LifetimeConfig) LifetimeResult {
 			mc.Read(paddr)
 			mc.OnEpochAccess()
 			res.LLCMissReads++
+		}
+		if cfg.OnAccess != nil {
+			cfg.OnAccess(res.Accesses, mc)
 		}
 	}
 

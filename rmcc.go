@@ -23,6 +23,8 @@ package rmcc
 import (
 	"rmcc/internal/core"
 	"rmcc/internal/experiments"
+	"rmcc/internal/fault"
+	"rmcc/internal/secmem/checker"
 	"rmcc/internal/secmem/counter"
 	"rmcc/internal/secmem/engine"
 	"rmcc/internal/sim"
@@ -116,9 +118,19 @@ func NewController(mode Mode, scheme Scheme, memBytes uint64) *Controller {
 
 // NewControllerWithConfig builds a controller from an explicit
 // configuration (set MemBytes; see DefaultEngineConfig for a starting
-// point).
+// point). The configuration is validated first; an invalid one panics
+// with the Validate error (use NewControllerChecked for an error return).
 func NewControllerWithConfig(cfg ControllerConfig) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	return engine.New(cfg)
+}
+
+// NewControllerChecked is NewControllerWithConfig with an error return
+// instead of a panic on invalid configuration.
+func NewControllerChecked(cfg ControllerConfig) (*Controller, error) {
+	return engine.NewChecked(cfg)
 }
 
 // DefaultLifetimeConfig mirrors the paper's Pintool setup.
@@ -152,6 +164,68 @@ func WorkloadNames() []string { return workload.Names() }
 // WorkloadByName returns one benchmark from a fresh suite.
 func WorkloadByName(size Size, seed uint64, name string) (Workload, bool) {
 	return workload.ByName(size, seed, name)
+}
+
+// Recovery policies: how the controller responds to a detected integrity
+// violation (see docs/FAULTS.md).
+const (
+	RecoveryFailStop     = engine.FailStop
+	RecoveryRetryRefetch = engine.RetryRefetch
+	RecoveryRekey        = engine.RekeyRecover
+)
+
+// RecoveryPolicy selects the violation response.
+type RecoveryPolicy = engine.RecoveryPolicy
+
+// Typed failure classes surfaced on Outcome.Violations; classify with
+// errors.Is against the engine sentinels.
+type (
+	// IntegrityError is one detected violation.
+	IntegrityError = engine.IntegrityError
+	// ViolationKind classifies an IntegrityError.
+	ViolationKind = engine.ViolationKind
+)
+
+// Sentinel errors for errors.Is classification.
+var (
+	ErrInvalidConfig      = engine.ErrInvalidConfig
+	ErrIntegrityViolation = engine.ErrIntegrityViolation
+	ErrCounterOverflow    = engine.ErrCounterOverflow
+	ErrMetadataCorruption = engine.ErrMetadataCorruption
+	ErrMemoCorruption     = engine.ErrMemoCorruption
+)
+
+// Fault injection and invariant checking (see docs/FAULTS.md).
+type (
+	// FaultKind enumerates the injectable faults.
+	FaultKind = fault.Kind
+	// Fault is one scheduled injection.
+	Fault = fault.Fault
+	// FaultSchedule is a reproducible fault plan.
+	FaultSchedule = fault.Schedule
+	// FaultCampaign replays a workload while injecting a schedule.
+	FaultCampaign = fault.Campaign
+	// FaultCampaignResult aggregates a campaign run.
+	FaultCampaignResult = fault.CampaignResult
+	// InvariantChecker validates security invariants over a controller.
+	InvariantChecker = checker.Checker
+	// CheckerReport summarizes checker violations by class.
+	CheckerReport = checker.Report
+)
+
+// NewFaultSchedule derives a reproducible fault plan from a seed (nil
+// kinds = one fault of every kind).
+func NewFaultSchedule(seed uint64, kinds []FaultKind, span uint64) FaultSchedule {
+	return fault.NewSchedule(seed, kinds, span)
+}
+
+// AllFaultKinds lists every injectable fault kind.
+func AllFaultKinds() []FaultKind { return fault.AllKinds() }
+
+// NewInvariantChecker wraps a controller with the security-invariant
+// checker (sampleStride 1 tracks every block).
+func NewInvariantChecker(mc *Controller, sampleStride int) *InvariantChecker {
+	return checker.New(mc, sampleStride)
 }
 
 // Experiment configurations.
