@@ -25,6 +25,7 @@ func benchOpts() rmcc.ExperimentOptions {
 	o.LifetimeAccesses = 600_000
 	o.WarmupAccesses = 60_000
 	o.MeasureAccesses = 200_000
+	o.Parallelism = -1 // one worker per CPU; tables are identical regardless
 	return o
 }
 

@@ -5,25 +5,48 @@
 //	rmcc-experiments -quick                      # all figures, scaled down
 //	rmcc-experiments -figures figure13,figure14  # just the headline plots
 //	rmcc-experiments -workloads canneal,mcf      # subset of benchmarks
+//	rmcc-experiments -quick -json -micro         # machine-readable perf report
+//	rmcc-experiments -quick -parallel 8          # eight simulation workers
+//
+// The -json report (see scripts/bench.sh) carries every figure's rows plus
+// in-process micro-benchmarks of the simulator hot paths, and is the format
+// the perf-regression harness checks into BENCH_<date>.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"testing"
 	"time"
 
 	"rmcc"
+	"rmcc/internal/core"
+	"rmcc/internal/crypto/aes"
+	"rmcc/internal/crypto/otp"
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
 )
 
 func main() {
 	var (
-		figures   = flag.String("figures", "all", "comma-separated figure names, or 'all'")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default all)")
-		quick     = flag.Bool("quick", false, "scaled-down runs (small workloads, short windows)")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
-		listFlag  = flag.Bool("list", false, "list figures and exit")
+		figures    = flag.String("figures", "all", "comma-separated figure names, or 'all'")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default all)")
+		quick      = flag.Bool("quick", false, "scaled-down runs (small workloads, short windows)")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		listFlag   = flag.Bool("list", false, "list figures and exit")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker pool size (1 = sequential)")
+		jsonFlag   = flag.Bool("json", false, "emit a machine-readable report on stdout instead of tables")
+		micro      = flag.Bool("micro", false, "also run hot-path micro-benchmarks (AES, engine, memo table)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -35,11 +58,49 @@ func main() {
 		return
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "rmcc-experiments: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmcc-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rmcc-experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rmcc-experiments: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rmcc-experiments: %v\n", err)
+			}
+		}()
+	}
+
 	opts := rmcc.DefaultExperimentOptions()
 	if *quick {
 		opts = rmcc.QuickExperimentOptions()
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *parallel
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
@@ -57,15 +118,180 @@ func main() {
 		}
 	}
 
+	report := jsonReport{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Quick:       *quick,
+		Seed:        *seed,
+		Parallelism: *parallel,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	start := time.Now()
 	for _, e := range all {
 		if *figures != "all" && !want[e.Name] {
 			continue
 		}
-		start := time.Now()
+		figStart := time.Now()
 		table := e.Run(opts)
-		fmt.Println(table)
-		fmt.Printf("(%s regenerated in %.1fs)\n\n", e.Name, time.Since(start).Seconds())
+		secs := time.Since(figStart).Seconds()
+		if *jsonFlag {
+			report.Figures = append(report.Figures, toJSONFigure(e.Name, table, secs))
+			fmt.Fprintf(os.Stderr, "%s regenerated in %.1fs\n", e.Name, secs)
+		} else {
+			fmt.Println(table)
+			fmt.Printf("(%s regenerated in %.1fs)\n\n", e.Name, secs)
+		}
 	}
+	if *micro {
+		report.Micro = microBenchmarks()
+		if !*jsonFlag {
+			fmt.Println("Micro-benchmarks (in-process, testing.Benchmark):")
+			for _, m := range report.Micro {
+				fmt.Printf("  %-28s %10.1f ns/op %6d B/op %4d allocs/op\n",
+					m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+			}
+		}
+	}
+	report.TotalSeconds = time.Since(start).Seconds()
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "rmcc-experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonReport is the schema of the -json perf report consumed by
+// scripts/bench.sh and archived as BENCH_<date>.json.
+type jsonReport struct {
+	Generated    string       `json:"generated"`
+	Quick        bool         `json:"quick"`
+	Seed         uint64       `json:"seed"`
+	Parallelism  int          `json:"parallelism"`
+	GoMaxProcs   int          `json:"gomaxprocs"`
+	Figures      []jsonFigure `json:"figures,omitempty"`
+	Micro        []jsonMicro  `json:"micro,omitempty"`
+	TotalSeconds float64      `json:"total_seconds"`
+}
+
+type jsonFigure struct {
+	Name    string    `json:"name"`
+	Title   string    `json:"title"`
+	Unit    string    `json:"unit,omitempty"`
+	Series  []string  `json:"series"`
+	Rows    []jsonRow `json:"rows"`
+	Mean    []float64 `json:"mean"`
+	Seconds float64   `json:"seconds"`
+}
+
+type jsonRow struct {
+	Name  string    `json:"name"`
+	Cells []float64 `json:"cells"`
+}
+
+type jsonMicro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func toJSONFigure(name string, t *rmcc.ResultTable, secs float64) jsonFigure {
+	f := jsonFigure{
+		Name:    name,
+		Title:   t.Title,
+		Unit:    t.Unit,
+		Series:  t.Series,
+		Mean:    t.Mean(),
+		Seconds: secs,
+	}
+	for _, r := range t.Rows {
+		f.Rows = append(f.Rows, jsonRow{Name: r.Name, Cells: r.Cells})
+	}
+	return f
+}
+
+// sinks defeat dead-code elimination in the micro-benchmark loops.
+var (
+	sinkHi, sinkLo uint64
+	sinkBuf        [16]byte
+)
+
+// microBenchmarks measures the simulator hot paths in-process via
+// testing.Benchmark, so the perf report records ns/op and allocs/op for the
+// exact binary being shipped: the T-table AES fast path and its byte-wise
+// reference (the speedup denominator), the engine read paths, and the
+// memoization-table lookup.
+func microBenchmarks() []jsonMicro {
+	key := []byte("0123456789abcdef")
+	c := aes.MustNew(key)
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"aes_encrypt_ttable", func(b *testing.B) {
+			var hi, lo uint64 = 0x0011223344556677, 0x8899aabbccddeeff
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hi, lo = c.EncryptWords(hi, lo)
+			}
+			sinkHi, sinkLo = hi, lo
+		}},
+		{"aes_encrypt_reference", func(b *testing.B) {
+			var buf [16]byte
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.EncryptReference(buf[:], buf[:])
+			}
+			sinkBuf = buf
+		}},
+		{"engine_read_hit", func(b *testing.B) {
+			mc := engine.New(engine.DefaultConfig(engine.RMCC, counter.Morphable, 64<<20))
+			mc.Read(0x100000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mc.Read(0x100000 + uint64(i&63)*64)
+			}
+		}},
+		{"engine_read_miss", func(b *testing.B) {
+			cfg := engine.DefaultConfig(engine.RMCC, counter.Morphable, 256<<20)
+			cfg.CounterCacheBytes = 8 << 10
+			mc := engine.New(cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mc.Read(uint64(i) * (8 << 10) % (128 << 20))
+			}
+		}},
+		{"memo_lookup", func(b *testing.B) {
+			unit := otp.MustNewUnit(otp.DeriveKeys([16]byte{1}, 16))
+			cfg := core.DefaultConfig()
+			cfg.OverMaxThreshold = 1 << 40
+			tbl := core.MustNewTable(cfg, unit.CounterOnly, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := uint64(i) & 127
+				if i&1 == 1 {
+					v += 1 << 20
+				}
+				tbl.Lookup(v, true)
+			}
+		}},
+	}
+	out := make([]jsonMicro, 0, len(benches))
+	for _, mb := range benches {
+		r := testing.Benchmark(mb.fn)
+		out = append(out, jsonMicro{
+			Name:        mb.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
 }
 
 func known(all []struct {

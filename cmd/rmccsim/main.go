@@ -6,13 +6,21 @@
 //
 //	rmccsim -workload canneal -mode rmcc -driver lifetime -accesses 5000000
 //	rmccsim -workload pageRank -mode baseline -scheme sc64 -driver detailed
+//	rmccsim -cpuprofile cpu.out -workload BFS -driver detailed
 //	rmccsim -list
+//
+// See docs/PERFORMANCE.md for the profiling workflow (-cpuprofile,
+// -memprofile, -pprof).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rmcc"
@@ -20,22 +28,60 @@ import (
 
 func main() {
 	var (
-		name      = flag.String("workload", "canneal", "workload name (see -list)")
-		list      = flag.Bool("list", false, "list workloads and exit")
-		sizeStr   = flag.String("size", "small", "workload scale: test|small|full")
-		modeStr   = flag.String("mode", "rmcc", "protection: nonsecure|baseline|rmcc")
-		schemeStr = flag.String("scheme", "morphable", "counters: sgx|sc64|morphable")
-		driver    = flag.String("driver", "lifetime", "simulation driver: lifetime|detailed")
-		accesses  = flag.Uint64("accesses", 5_000_000, "lifetime accesses / detailed window")
-		seed      = flag.Uint64("seed", 1, "experiment seed")
-		aesNS     = flag.Int64("aes", 15, "AES latency in ns (detailed driver)")
-		cores     = flag.Int("cores", 1, "cores (detailed driver; graph kernels shard)")
+		name       = flag.String("workload", "canneal", "workload name (see -list)")
+		list       = flag.Bool("list", false, "list workloads and exit")
+		sizeStr    = flag.String("size", "small", "workload scale: test|small|full")
+		modeStr    = flag.String("mode", "rmcc", "protection: nonsecure|baseline|rmcc")
+		schemeStr  = flag.String("scheme", "morphable", "counters: sgx|sc64|morphable")
+		driver     = flag.String("driver", "lifetime", "simulation driver: lifetime|detailed")
+		accesses   = flag.Uint64("accesses", 5_000_000, "lifetime accesses / detailed window")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		aesNS      = flag.Int64("aes", 15, "AES latency in ns (detailed driver)")
+		cores      = flag.Int("cores", 1, "cores (detailed driver; graph kernels shard)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(rmcc.WorkloadNames(), "\n"))
 		return
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "rmccsim: pprof server: %v\n", err)
+			}
+		}()
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rmccsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rmccsim:", err)
+			}
+		}()
 	}
 
 	size, err := parseSize(*sizeStr)

@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+// BenchmarkMemoLookup measures the full read-path lookup — recordRead
+// (over-max check + watchpoint bucketing) plus the group scan — on a mixed
+// hit/miss value stream like the one the engine generates. Must be zero
+// allocs/op.
+func BenchmarkMemoLookup(b *testing.B) {
+	tbl := newTable(b, func(c *Config) { c.OverMaxThreshold = 1 << 40 })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Alternate in-table values with over-max misses (the common shape
+		// once a workload's counters outrun the table).
+		v := uint64(i) & 127
+		if i&1 == 1 {
+			v += 1 << 20
+		}
+		tbl.Lookup(v, true)
+	}
+}
+
+// BenchmarkMemoLookupOverMax isolates the over-max miss path that the
+// cached table max and watchpoint binary search optimize.
+func BenchmarkMemoLookupOverMax(b *testing.B) {
+	tbl := newTable(b, func(c *Config) { c.OverMaxThreshold = 1 << 40 })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(1<<20+uint64(i&1023), true)
+	}
+}

@@ -151,12 +151,19 @@ type Table struct {
 	shadow []shadowGroup
 	mru    []mruEntry // front = most recent
 
-	// Epoch state.
+	// maxLive caches MaxInTable; recomputeWatchpoints refreshes it after
+	// every structural change to the live groups.
+	maxLive uint64
+
+	// Epoch state. watchpoints is strictly ascending; watchBelow[i] counts
+	// the epoch's reads whose value falls below watchpoints[i] but not below
+	// watchpoints[i-1], so the per-watchpoint totals the insertion policy
+	// needs are the prefix sums of watchBelow.
 	accessesInEpoch uint64
 	readsInEpoch    uint64
 	overMaxReads    uint64
 	watchpoints     []uint64
-	watchCounts     []uint64
+	watchBelow      []uint64
 
 	budget budget
 
@@ -244,21 +251,15 @@ func (t *Table) installGroup(i int, start uint64) {
 }
 
 // MaxInTable returns the largest memoized value across live groups
-// (Max-counter-in-Table, Figure 9).
-func (t *Table) MaxInTable() uint64 {
-	var max uint64
-	for i := range t.groups {
-		if g := &t.groups[i]; g.valid {
-			if end := g.start + uint64(t.cfg.GroupSize) - 1; end > max {
-				max = end
-			}
-		}
-	}
-	return max
-}
+// (Max-counter-in-Table, Figure 9). The value is cached and refreshed by
+// recomputeWatchpoints, so the per-read over-max check is O(1).
+func (t *Table) MaxInTable() uint64 { return t.maxLive }
 
 // Contains reports whether value is currently memoized in a live group.
 func (t *Table) Contains(value uint64) bool {
+	if value > t.maxLive {
+		return false
+	}
 	for i := range t.groups {
 		if t.groups[i].contains(value, t.cfg.GroupSize) {
 			return true
@@ -326,14 +327,16 @@ func (t *Table) Lookup(value uint64, isRead bool) (otp.CtrResult, HitSource) {
 	if isRead {
 		t.recordRead(value)
 	}
-	for i := range t.groups {
-		g := &t.groups[i]
-		if g.contains(value, t.cfg.GroupSize) {
-			if isRead {
-				g.useCount++
+	if value <= t.maxLive { // no live group can hold a value above the max
+		for i := range t.groups {
+			g := &t.groups[i]
+			if g.contains(value, t.cfg.GroupSize) {
+				if isRead {
+					g.useCount++
+				}
+				t.stats.GroupHits++
+				return g.results[value-g.start], GroupSource
 			}
-			t.stats.GroupHits++
-			return g.results[value-g.start], GroupSource
 		}
 	}
 	// Shadow groups: keep counting uses of evicted groups, and serve the
@@ -407,25 +410,34 @@ func (t *Table) NearestMemoized(current uint64) (uint64, bool) {
 // counter values outrun the table (§IV-C3).
 func (t *Table) recordRead(value uint64) {
 	t.readsInEpoch++
-	x := t.MaxInTable()
-	if value > x {
+	if value > t.maxLive {
 		t.overMaxReads++
 		if t.overMaxReads >= t.cfg.OverMaxThreshold {
 			t.overMaxReads = 0
 			t.insertNewGroup()
 		}
 	}
-	for i, w := range t.watchpoints {
-		if value < w {
-			t.watchCounts[i]++
-		}
+	// value < w holds for exactly the ascending suffix of watchpoints that
+	// starts at the first one above value; bucket that index instead of
+	// touching the whole suffix.
+	if i := sort.Search(len(t.watchpoints), func(i int) bool { return value < t.watchpoints[i] }); i < len(t.watchBelow) {
+		t.watchBelow[i]++
 	}
 }
 
-// recomputeWatchpoints rebuilds the monitored values above the current
-// table max: X+1+8i (i = 0..16) and X+129+2^j (j = 4..17).
+// recomputeWatchpoints refreshes the cached table max and rebuilds the
+// monitored values above it: X+1+8i (i = 0..16) and X+129+2^j (j = 4..17),
+// a strictly ascending sequence.
 func (t *Table) recomputeWatchpoints() {
-	x := t.MaxInTable()
+	var x uint64
+	for i := range t.groups {
+		if g := &t.groups[i]; g.valid {
+			if end := g.start + uint64(t.cfg.GroupSize) - 1; end > x {
+				x = end
+			}
+		}
+	}
+	t.maxLive = x
 	t.watchpoints = t.watchpoints[:0]
 	for i := 0; i <= 16; i++ {
 		t.watchpoints = append(t.watchpoints, x+1+8*uint64(i))
@@ -433,7 +445,7 @@ func (t *Table) recomputeWatchpoints() {
 	for j := 4; j <= 17; j++ {
 		t.watchpoints = append(t.watchpoints, x+129+(uint64(1)<<uint(j)))
 	}
-	t.watchCounts = make([]uint64, len(t.watchpoints))
+	t.watchBelow = make([]uint64, len(t.watchpoints))
 }
 
 // insertNewGroup replaces the least-frequently-used live group with a new
@@ -468,8 +480,10 @@ func (t *Table) insertNewGroup() {
 
 func (t *Table) chooseNewStart() uint64 {
 	need := t.cfg.CoverageQuantile * float64(t.readsInEpoch)
+	var below uint64 // prefix sum of watchBelow = reads under watchpoint i
 	for i, w := range t.watchpoints {
-		if float64(t.watchCounts[i]) >= need {
+		below += t.watchBelow[i]
+		if float64(below) >= need {
 			return w
 		}
 	}
@@ -519,8 +533,8 @@ func (t *Table) endEpoch() {
 	t.accessesInEpoch = 0
 	t.readsInEpoch = 0
 	t.overMaxReads = 0
-	for i := range t.watchCounts {
-		t.watchCounts[i] = 0
+	for i := range t.watchBelow {
+		t.watchBelow[i] = 0
 	}
 }
 

@@ -381,3 +381,63 @@ func BenchmarkNearestMemoized(b *testing.B) {
 		tbl.NearestMemoized(uint64(i) & 127)
 	}
 }
+
+// TestWatchpointBucketsMatchNaive drives random read traffic and checks that
+// the bucketed watchpoint histogram (watchBelow + prefix sums) reproduces the
+// naive per-watchpoint counts ("reads with value < watchpoint"), i.e. the
+// recordRead optimization is observationally identical.
+func TestWatchpointBucketsMatchNaive(t *testing.T) {
+	tbl := newTable(t, func(c *Config) {
+		c.OverMaxThreshold = 1 << 40 // no insertions: watchpoints stay fixed
+		c.EpochAccesses = 1 << 40    // no epoch reset mid-test
+	})
+	values := make([]uint64, 0, 4000)
+	v := uint64(12345)
+	for i := 0; i < 4000; i++ {
+		v = v*6364136223846793005 + 1442695040888963407 // LCG, deterministic
+		val := v % 40000                                // spans all watchpoints
+		values = append(values, val)
+		tbl.Lookup(val, true)
+	}
+	var prefix uint64
+	for i, w := range tbl.watchpoints {
+		prefix += tbl.watchBelow[i]
+		var naive uint64
+		for _, val := range values {
+			if val < w {
+				naive++
+			}
+		}
+		if prefix != naive {
+			t.Fatalf("watchpoint %d (=%d): bucketed count %d, naive %d", i, w, prefix, naive)
+		}
+	}
+}
+
+// TestMaxInTableCached checks the cached Max-counter-in-Table against a naive
+// scan of the live values after seeding and after forced insertions.
+func TestMaxInTableCached(t *testing.T) {
+	tbl := newTable(t, func(c *Config) { c.OverMaxThreshold = 4 })
+	naiveMax := func() uint64 {
+		var m uint64
+		for _, v := range tbl.LiveValues() {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	if got, want := tbl.MaxInTable(), naiveMax(); got != want {
+		t.Fatalf("fresh table: MaxInTable = %d, naive = %d", got, want)
+	}
+	tbl.Seed([]uint64{1000, 2000, 3000})
+	if got, want := tbl.MaxInTable(), naiveMax(); got != want {
+		t.Fatalf("after Seed: MaxInTable = %d, naive = %d", got, want)
+	}
+	for i := 0; i < 64; i++ { // force over-max insertions
+		tbl.Lookup(tbl.MaxInTable()+100, true)
+		if got, want := tbl.MaxInTable(), naiveMax(); got != want {
+			t.Fatalf("after insertion round %d: MaxInTable = %d, naive = %d", i, got, want)
+		}
+	}
+}

@@ -5,14 +5,25 @@
 // (OTPs), so only the forward (encryption) transform sits on the simulated
 // critical path; decryption is provided for completeness and for tests.
 //
-// This is a reference implementation: clarity over speed, no table
-// precomputation beyond the S-box, and no attempt at constant-time execution.
-// The simulator models AES latency architecturally (15 ns for AES-128, 22 ns
-// for AES-256 per the paper's 7 nm synthesis numbers); the Go-level cost of
-// this code is irrelevant to simulated time.
+// Two encryption paths exist. Encrypt/EncryptWords use precomputed T-tables
+// (four 1 KB lookup tables folding SubBytes, ShiftRows and MixColumns into
+// one XOR chain per column) so the Go-level cost of the millions of pad
+// derivations a simulation performs stays small. EncryptReference is the
+// original byte-wise FIPS-197 transform, kept as the correctness oracle:
+// tests cross-check the two on fixed vectors and random blocks. Key
+// schedules are cached per key, since simulations build many engines from
+// identical derived keys. The simulator still models AES latency
+// architecturally (15 ns for AES-128, 22 ns for AES-256 per the paper's
+// 7 nm synthesis numbers); Go-level speed only affects wall-clock.
+//
+// No path attempts constant-time execution; this is a simulator, not a
+// production cipher.
 package aes
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // BlockSize is the AES block size in bytes. AES has a fixed 128-bit block
 // regardless of key size.
@@ -34,7 +45,7 @@ func Rounds(keyLen int) int {
 // Cipher is an AES block cipher with an expanded key schedule.
 type Cipher struct {
 	rounds int
-	enc    [][4]uint32 // round keys, column-major words
+	enc    []uint32 // round keys, 4 column-major words per round, flat
 }
 
 // sbox is the AES substitution box.
@@ -60,11 +71,34 @@ var sbox = [256]byte{
 // invSbox is the inverse S-box, derived from sbox at init time.
 var invSbox [256]byte
 
+// te0..te3 are the encryption T-tables: te0[x] packs the MixColumns column
+// produced by S-box output sbox[x] in row position 0; te1..te3 are the same
+// column rotated for row positions 1..3. One full round reduces to four
+// table lookups and four XORs per column.
+var te0, te1, te2, te3 [256]uint32
+
 func init() {
 	for i, v := range sbox {
 		invSbox[v] = byte(i)
 	}
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := byte(xtimeByte(s))
+		s3 := s2 ^ s
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te0[i] = w
+		te1[i] = w>>8 | w<<24
+		te2[i] = w>>16 | w<<16
+		te3[i] = w>>24 | w<<8
+	}
 }
+
+// schedCache memoizes expanded key schedules by key material. Simulations
+// derive identical key sets for every engine they build (same KeyMaster),
+// so the FIPS-197 expansion runs once per distinct key process-wide.
+// Cached schedules are read-only and safely shared across Ciphers and
+// goroutines.
+var schedCache sync.Map // string(key) -> []uint32
 
 // New creates an AES cipher from a 16-byte (AES-128) or 32-byte (AES-256)
 // key.
@@ -74,7 +108,12 @@ func New(key []byte) (*Cipher, error) {
 		return nil, fmt.Errorf("aes: invalid key size %d (want 16 or 32)", len(key))
 	}
 	c := &Cipher{rounds: rounds}
+	if sched, ok := schedCache.Load(string(key)); ok {
+		c.enc = sched.([]uint32)
+		return c, nil
+	}
 	c.expandKey(key)
+	schedCache.Store(string(key), c.enc)
 	return c, nil
 }
 
@@ -122,10 +161,7 @@ func (c *Cipher) expandKey(key []byte) {
 		}
 		w[i] = w[i-nk] ^ t
 	}
-	c.enc = make([][4]uint32, c.rounds+1)
-	for r := 0; r <= c.rounds; r++ {
-		copy(c.enc[r][:], w[4*r:4*r+4])
-	}
+	c.enc = w
 }
 
 // xtimeByte multiplies a byte by x in GF(2^8) with the AES polynomial.
@@ -157,7 +193,7 @@ func mulGF8(a, b byte) byte {
 // byte i goes to row i%4, column i/4).
 type state [16]byte
 
-func (s *state) addRoundKey(rk *[4]uint32) {
+func (s *state) addRoundKey(rk []uint32) {
 	for col := 0; col < 4; col++ {
 		w := rk[col]
 		s[4*col+0] ^= byte(w >> 24)
@@ -213,24 +249,69 @@ func (s *state) invMixColumns() {
 	}
 }
 
-// Encrypt encrypts exactly one 16-byte block from src into dst.
-// dst and src may overlap. It panics if either is shorter than BlockSize.
+// Encrypt encrypts exactly one 16-byte block from src into dst using the
+// T-table fast path. dst and src may overlap. It panics if either is
+// shorter than BlockSize.
 func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: input not full block")
+	}
+	s0 := uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])
+	s1 := uint32(src[4])<<24 | uint32(src[5])<<16 | uint32(src[6])<<8 | uint32(src[7])
+	s2 := uint32(src[8])<<24 | uint32(src[9])<<16 | uint32(src[10])<<8 | uint32(src[11])
+	s3 := uint32(src[12])<<24 | uint32(src[13])<<16 | uint32(src[14])<<8 | uint32(src[15])
+	s0, s1, s2, s3 = c.encryptColumns(s0, s1, s2, s3)
+	dst[0], dst[1], dst[2], dst[3] = byte(s0>>24), byte(s0>>16), byte(s0>>8), byte(s0)
+	dst[4], dst[5], dst[6], dst[7] = byte(s1>>24), byte(s1>>16), byte(s1>>8), byte(s1)
+	dst[8], dst[9], dst[10], dst[11] = byte(s2>>24), byte(s2>>16), byte(s2>>8), byte(s2)
+	dst[12], dst[13], dst[14], dst[15] = byte(s3>>24), byte(s3>>16), byte(s3>>8), byte(s3)
+}
+
+// encryptColumns runs the full cipher on a state held as four big-endian
+// column words — the shared core of Encrypt and EncryptWords.
+func (c *Cipher) encryptColumns(s0, s1, s2, s3 uint32) (uint32, uint32, uint32, uint32) {
+	xk := c.enc
+	s0 ^= xk[0]
+	s1 ^= xk[1]
+	s2 ^= xk[2]
+	s3 ^= xk[3]
+	k := 4
+	for r := 1; r < c.rounds; r++ {
+		t0 := te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ xk[k]
+		t1 := te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ xk[k+1]
+		t2 := te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ xk[k+2]
+		t3 := te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ xk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows without MixColumns.
+	t0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	t1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	t2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	t3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	return t0 ^ xk[k], t1 ^ xk[k+1], t2 ^ xk[k+2], t3 ^ xk[k+3]
+}
+
+// EncryptReference encrypts one block with the byte-wise FIPS-197 transform
+// (SubBytes/ShiftRows/MixColumns as written in the standard). It is the
+// correctness oracle for the T-table path and the baseline the AES
+// micro-benchmarks compare against.
+func (c *Cipher) EncryptReference(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("aes: input not full block")
 	}
 	var s state
 	copy(s[:], src[:BlockSize])
-	s.addRoundKey(&c.enc[0])
+	s.addRoundKey(c.enc[0:4])
 	for r := 1; r < c.rounds; r++ {
 		s.subBytes()
 		s.shiftRows()
 		s.mixColumns()
-		s.addRoundKey(&c.enc[r])
+		s.addRoundKey(c.enc[4*r : 4*r+4])
 	}
 	s.subBytes()
 	s.shiftRows()
-	s.addRoundKey(&c.enc[c.rounds])
+	s.addRoundKey(c.enc[4*c.rounds : 4*c.rounds+4])
 	copy(dst[:BlockSize], s[:])
 }
 
@@ -241,29 +322,27 @@ func (c *Cipher) Decrypt(dst, src []byte) {
 	}
 	var s state
 	copy(s[:], src[:BlockSize])
-	s.addRoundKey(&c.enc[c.rounds])
+	s.addRoundKey(c.enc[4*c.rounds : 4*c.rounds+4])
 	for r := c.rounds - 1; r >= 1; r-- {
 		s.invShiftRows()
 		s.invSubBytes()
-		s.addRoundKey(&c.enc[r])
+		s.addRoundKey(c.enc[4*r : 4*r+4])
 		s.invMixColumns()
 	}
 	s.invShiftRows()
 	s.invSubBytes()
-	s.addRoundKey(&c.enc[0])
+	s.addRoundKey(c.enc[0:4])
 	copy(dst[:BlockSize], s[:])
 }
 
 // EncryptWords encrypts a 128-bit input given as two 64-bit halves and
 // returns the result as two 64-bit halves (big-endian packing). This is the
 // form the OTP unit uses: the secure-memory data path works on 64-bit words,
-// not byte slices.
+// not byte slices. It allocates nothing and never touches a byte buffer.
 func (c *Cipher) EncryptWords(hi, lo uint64) (outHi, outLo uint64) {
-	var in, out [BlockSize]byte
-	putU64(in[0:8], hi)
-	putU64(in[8:16], lo)
-	c.Encrypt(out[:], in[:])
-	return getU64(out[0:8]), getU64(out[8:16])
+	s0, s1, s2, s3 := c.encryptColumns(
+		uint32(hi>>32), uint32(hi), uint32(lo>>32), uint32(lo))
+	return uint64(s0)<<32 | uint64(s1), uint64(s2)<<32 | uint64(s3)
 }
 
 func putU64(b []byte, v uint64) {

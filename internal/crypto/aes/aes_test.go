@@ -122,6 +122,47 @@ func TestEncryptWordsMatchesBytes(t *testing.T) {
 	}
 }
 
+// TestEncryptMatchesReference cross-checks the T-table fast path against
+// the byte-wise FIPS-197 reference transform on random keys and blocks,
+// for both key sizes.
+func TestEncryptMatchesReference(t *testing.T) {
+	r := rng.New(7)
+	for _, keyLen := range []int{16, 32} {
+		key := make([]byte, keyLen)
+		for i := range key {
+			key[i] = byte(r.Uint64())
+		}
+		c := MustNew(key)
+		f := func(hi, lo uint64) bool {
+			var pt, fast, ref [16]byte
+			putU64(pt[0:8], hi)
+			putU64(pt[8:16], lo)
+			c.Encrypt(fast[:], pt[:])
+			c.EncryptReference(ref[:], pt[:])
+			return fast == ref
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("keyLen %d: fast path diverges from reference: %v", keyLen, err)
+		}
+	}
+}
+
+// TestKeyScheduleCache checks that two Ciphers built from the same key
+// share one expanded schedule, and that distinct keys do not.
+func TestKeyScheduleCache(t *testing.T) {
+	key := mustHex(t, "8899aabbccddeeff00112233445566ff")
+	a := MustNew(key)
+	b := MustNew(key)
+	if &a.enc[0] != &b.enc[0] {
+		t.Fatal("same key did not share a cached schedule")
+	}
+	key[0] ^= 1
+	c := MustNew(key)
+	if &a.enc[0] == &c.enc[0] {
+		t.Fatal("distinct keys shared a schedule")
+	}
+}
+
 func TestDifferentKeysDifferentCiphertext(t *testing.T) {
 	c1 := MustNew(mustHex(t, "00000000000000000000000000000000"))
 	c2 := MustNew(mustHex(t, "00000000000000000000000000000001"))

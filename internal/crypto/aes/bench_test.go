@@ -1,0 +1,50 @@
+package aes
+
+import "testing"
+
+// BenchmarkAESEncrypt measures the T-table fast path on the OTP unit's
+// word form — the call the memoization-table fill and every pad derivation
+// bottom out in. Must be zero allocs/op.
+func BenchmarkAESEncrypt(b *testing.B) {
+	c := MustNew([]byte("0123456789abcdef"))
+	b.ReportAllocs()
+	var hi, lo uint64 = 0x0011223344556677, 0x8899aabbccddeeff
+	for i := 0; i < b.N; i++ {
+		hi, lo = c.EncryptWords(hi, lo)
+	}
+	sinkHi, sinkLo = hi, lo
+}
+
+// BenchmarkAESEncryptBytes measures the byte-slice fast path.
+func BenchmarkAESEncryptBytes(b *testing.B) {
+	c := MustNew([]byte("0123456789abcdef"))
+	var buf [16]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf[:], buf[:])
+	}
+}
+
+// BenchmarkAESEncryptReference measures the byte-wise FIPS-197 reference
+// transform — the denominator of the T-table speedup recorded in
+// docs/PERFORMANCE.md.
+func BenchmarkAESEncryptReference(b *testing.B) {
+	c := MustNew([]byte("0123456789abcdef"))
+	var buf [16]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.EncryptReference(buf[:], buf[:])
+	}
+}
+
+// BenchmarkAESKeyExpansionCached measures New on an already-cached key.
+func BenchmarkAESKeyExpansionCached(b *testing.B) {
+	key := []byte("fedcba9876543210")
+	MustNew(key)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MustNew(key)
+	}
+}
+
+var sinkHi, sinkLo uint64

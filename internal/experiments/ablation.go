@@ -43,15 +43,23 @@ func Ablation(o Options) *stats.Table {
 		}},
 	}
 	names := []string{"canneal", "pageRank"}
-	for _, p := range points {
+	type metrics struct{ hit, acc float64 }
+	cells := make([][]metrics, len(points))
+	for i := range cells {
+		cells[i] = make([]metrics, len(names))
+	}
+	o.forEachCell(len(points), len(names), func(i, j int) {
+		w, _ := workload.ByName(o.Size, o.Seed, names[j])
+		cfg := o.lifetimeConfig(engine.RMCC, counter.Morphable)
+		points[i].mutate(&cfg.Engine)
+		res := sim.RunLifetime(w, cfg)
+		cells[i][j] = metrics{res.Engine.MemoHitRateOnMisses(), res.Engine.AcceleratedRate()}
+	})
+	for i, p := range points {
 		var hitSum, accSum float64
-		for _, name := range names {
-			w, _ := workload.ByName(o.Size, o.Seed, name)
-			cfg := o.lifetimeConfig(engine.RMCC, counter.Morphable)
-			p.mutate(&cfg.Engine)
-			res := sim.RunLifetime(w, cfg)
-			hitSum += res.Engine.MemoHitRateOnMisses()
-			accSum += res.Engine.AcceleratedRate()
+		for _, m := range cells[i] {
+			hitSum += m.hit
+			accSum += m.acc
 		}
 		t.Add(p.name, hitSum/float64(len(names)), accSum/float64(len(names)))
 	}

@@ -24,17 +24,22 @@ func Convergence(o Options) *stats.Table {
 	if base == 0 {
 		base = 1_000_000
 	}
-	for _, name := range []string{"canneal", "pageRank"} {
-		row := make([]float64, 0, 4)
-		for _, mult := range []uint64{1, 2, 4, 8} {
-			w, _ := workload.ByName(o.Size, o.Seed, name)
-			cfg := o.lifetimeConfig(engine.RMCC, counter.Morphable)
-			cfg.Engine.WarmStartFrac = 0 // cold start: organic convergence
-			cfg.MaxAccesses = base * mult / 2
-			res := sim.RunLifetime(w, cfg)
-			row = append(row, res.Engine.MemoHitRateOnMisses())
-		}
-		t.Add(name, row...)
+	names := []string{"canneal", "pageRank"}
+	mults := []uint64{1, 2, 4, 8}
+	rows := make([][]float64, len(names))
+	for i := range rows {
+		rows[i] = make([]float64, len(mults))
+	}
+	o.forEachCell(len(names), len(mults), func(i, p int) {
+		w, _ := workload.ByName(o.Size, o.Seed, names[i])
+		cfg := o.lifetimeConfig(engine.RMCC, counter.Morphable)
+		cfg.Engine.WarmStartFrac = 0 // cold start: organic convergence
+		cfg.MaxAccesses = base * mults[p] / 2
+		res := sim.RunLifetime(w, cfg)
+		rows[i][p] = res.Engine.MemoHitRateOnMisses()
+	})
+	for i, name := range names {
+		t.Add(name, rows[i]...)
 	}
 	return t
 }

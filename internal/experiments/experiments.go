@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"rmcc/internal/secmem/counter"
 	"rmcc/internal/secmem/engine"
@@ -36,6 +37,12 @@ type Options struct {
 	// adaptive machinery (insertions, budget refresh) still cycles.
 	EpochAccesses    uint64
 	OverMaxThreshold uint64
+
+	// Parallelism caps the worker pool fanning independent workload and
+	// sweep-point cells across goroutines. 0 or 1 runs sequentially;
+	// negative uses one worker per CPU. Results are collected by index, so
+	// every table is byte-identical whatever the setting.
+	Parallelism int
 }
 
 // DefaultOptions is the full-scale configuration used for EXPERIMENTS.md:
@@ -146,9 +153,20 @@ type runKey struct {
 	cores  int
 }
 
+// detailedEntry is one cached detailed simulation. The per-entry Once is
+// what makes the cache safe under the parallel sweep: two goroutines that
+// need the same run rendezvous on the entry, exactly one executes the
+// simulation, and the other blocks until the result is ready instead of
+// duplicating hours of work.
+type detailedEntry struct {
+	once sync.Once
+	res  sim.DetailedResult
+}
+
 var (
 	detailedCacheMu sync.Mutex
-	detailedCache   = map[runKey]sim.DetailedResult{}
+	detailedCache   = map[runKey]*detailedEntry{}
+	detailedBuilds  atomic.Uint64 // simulations actually executed (dedup tests)
 )
 
 // detailedRun executes (or recalls) one detailed simulation.
@@ -157,24 +175,25 @@ func (o Options) detailedRun(name string, mode engine.Mode, scheme counter.Schem
 	key := runKey{name, mode, scheme, aesNS, ctrKB, spec,
 		o.Size, o.Seed, o.WarmupAccesses, o.MeasureAccesses, o.Cores}
 	detailedCacheMu.Lock()
-	if res, ok := detailedCache[key]; ok {
-		detailedCacheMu.Unlock()
-		return res
-	}
-	detailedCacheMu.Unlock()
-	w, ok := workload.ByName(o.Size, o.Seed, name)
+	e, ok := detailedCache[key]
 	if !ok {
-		panic("experiments: unknown workload " + name)
+		e = &detailedEntry{}
+		detailedCache[key] = e
 	}
-	cfg := o.detailedConfig(mode, scheme)
-	cfg.AESLat = aesNS * 1000
-	cfg.Engine.CounterCacheBytes = ctrKB << 10
-	cfg.SpeculativeVerification = spec
-	res := sim.RunDetailed(w, cfg)
-	detailedCacheMu.Lock()
-	detailedCache[key] = res
 	detailedCacheMu.Unlock()
-	return res
+	e.once.Do(func() {
+		detailedBuilds.Add(1)
+		w, ok := workload.ByName(o.Size, o.Seed, name)
+		if !ok {
+			panic("experiments: unknown workload " + name)
+		}
+		cfg := o.detailedConfig(mode, scheme)
+		cfg.AESLat = aesNS * 1000
+		cfg.Engine.CounterCacheBytes = ctrKB << 10
+		cfg.SpeculativeVerification = spec
+		e.res = sim.RunDetailed(w, cfg)
+	})
+	return e.res
 }
 
 // Figure3 measures counter-cache misses per LLC miss under Morphable
@@ -185,9 +204,14 @@ func Figure3(o Options) *stats.Table {
 		Unit:   "%",
 		Series: []string{"ctr miss rate"},
 	}
-	for _, w := range o.workloads() {
-		res := sim.RunLifetime(w, o.lifetimeConfig(engine.Baseline, counter.Morphable))
-		t.Add(w.Name(), res.Engine.CtrMissRate())
+	ws := o.workloads()
+	rows := make([][]float64, len(ws))
+	o.forEachIndex(len(ws), func(i int) {
+		res := sim.RunLifetime(ws[i], o.lifetimeConfig(engine.Baseline, counter.Morphable))
+		rows[i] = []float64{res.Engine.CtrMissRate()}
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), rows[i]...)
 	}
 	return t
 }
@@ -200,15 +224,21 @@ func Figure4(o Options) *stats.Table {
 		Unit:   "%",
 		Series: []string{"4KB pages", "2MB pages"},
 	}
-	for _, w := range o.workloads() {
-		res := sim.RunLifetime(w, o.lifetimeConfig(engine.Baseline, counter.Morphable))
+	ws := o.workloads()
+	rows := make([][]float64, len(ws))
+	o.forEachIndex(len(ws), func(i int) {
+		res := sim.RunLifetime(ws[i], o.lifetimeConfig(engine.Baseline, counter.Morphable))
 		misses := float64(res.LLCMisses())
 		if misses == 0 {
 			misses = 1
 		}
-		t.Add(w.Name(),
-			float64(res.TLB4KMisses)/misses,
-			float64(res.TLB2MMisses)/misses)
+		rows[i] = []float64{
+			float64(res.TLB4KMisses) / misses,
+			float64(res.TLB2MMisses) / misses,
+		}
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), rows[i]...)
 	}
 	return t
 }
@@ -222,8 +252,10 @@ func Figure10(o Options) *stats.Table {
 		Unit:   "%",
 		Series: []string{"groups", "recently-used", "total"},
 	}
-	for _, w := range o.workloads() {
-		res := sim.RunLifetime(w, o.lifetimeConfig(engine.RMCC, counter.Morphable))
+	ws := o.workloads()
+	rows := make([][]float64, len(ws))
+	o.forEachIndex(len(ws), func(i int) {
+		res := sim.RunLifetime(ws[i], o.lifetimeConfig(engine.RMCC, counter.Morphable))
 		e := res.Engine
 		den := float64(e.L0MemoLookupsOnMiss)
 		if den == 0 {
@@ -231,7 +263,10 @@ func Figure10(o Options) *stats.Table {
 		}
 		g := float64(e.L0MemoGroupHitsOnMiss) / den
 		m := float64(e.L0MemoMRUHitsOnMiss) / den
-		t.Add(w.Name(), g, m, g+m)
+		rows[i] = []float64{g, m, g + m}
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), rows[i]...)
 	}
 	return t
 }
@@ -243,13 +278,19 @@ func Figure12(o Options) *stats.Table {
 		Unit:   "%",
 		Series: []string{"data", "counters", "L0 overflow", "L1+ overflow", "total"},
 	}
-	for _, w := range o.workloads() {
-		res := o.detailedRun(w.Name(), engine.Baseline, counter.Morphable, 15, 128, false)
+	ws := o.workloads()
+	rows := make([][]float64, len(ws))
+	o.forEachIndex(len(ws), func(i int) {
+		res := o.detailedRun(ws[i].Name(), engine.Baseline, counter.Morphable, 15, 128, false)
 		u := res.DRAM.UtilizationByKind(res.WindowTime)
 		total := res.DRAM.Utilization(res.WindowTime)
-		t.Add(w.Name(),
+		rows[i] = []float64{
 			u["data"], u["counters"], u["level 0 overflow"],
-			u["level 1 and higher overflow"], total)
+			u["level 1 and higher overflow"], total,
+		}
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), rows[i]...)
 	}
 	return t
 }
@@ -263,13 +304,28 @@ func Figure13(o Options) *stats.Table {
 		Series:  []string{"SC-64", "Morphable", "RMCC"},
 		GeoMean: true,
 	}
-	for _, w := range o.workloads() {
-		name := w.Name()
-		ns := o.detailedRun(name, engine.NonSecure, counter.Morphable, 15, 128, false)
-		sc := o.detailedRun(name, engine.Baseline, counter.SC64, 15, 128, false)
-		mo := o.detailedRun(name, engine.Baseline, counter.Morphable, 15, 128, false)
-		rm := o.detailedRun(name, engine.RMCC, counter.Morphable, 15, 128, false)
-		t.Add(name, sc.IPC/ns.IPC, mo.IPC/ns.IPC, rm.IPC/ns.IPC)
+	ws := o.workloads()
+	type modePoint struct {
+		mode   engine.Mode
+		scheme counter.Scheme
+	}
+	points := []modePoint{
+		{engine.NonSecure, counter.Morphable},
+		{engine.Baseline, counter.SC64},
+		{engine.Baseline, counter.Morphable},
+		{engine.RMCC, counter.Morphable},
+	}
+	ipc := make([][]float64, len(ws))
+	for i := range ipc {
+		ipc[i] = make([]float64, len(points))
+	}
+	o.forEachCell(len(ws), len(points), func(i, p int) {
+		res := o.detailedRun(ws[i].Name(), points[p].mode, points[p].scheme, 15, 128, false)
+		ipc[i][p] = res.IPC
+	})
+	for i, w := range ws {
+		ns := ipc[i][0]
+		t.Add(w.Name(), ipc[i][1]/ns, ipc[i][2]/ns, ipc[i][3]/ns)
 	}
 	return t
 }
@@ -281,14 +337,27 @@ func Figure14(o Options) *stats.Table {
 		Unit:   "ns",
 		Series: []string{"SC-64", "Morphable", "RMCC", "Non-secure"},
 	}
-	for _, w := range o.workloads() {
-		name := w.Name()
-		sc := o.detailedRun(name, engine.Baseline, counter.SC64, 15, 128, false)
-		mo := o.detailedRun(name, engine.Baseline, counter.Morphable, 15, 128, false)
-		rm := o.detailedRun(name, engine.RMCC, counter.Morphable, 15, 128, false)
-		ns := o.detailedRun(name, engine.NonSecure, counter.Morphable, 15, 128, false)
-		t.Add(name, sc.AvgMissLatencyNS, mo.AvgMissLatencyNS,
-			rm.AvgMissLatencyNS, ns.AvgMissLatencyNS)
+	ws := o.workloads()
+	type modePoint struct {
+		mode   engine.Mode
+		scheme counter.Scheme
+	}
+	points := []modePoint{
+		{engine.Baseline, counter.SC64},
+		{engine.Baseline, counter.Morphable},
+		{engine.RMCC, counter.Morphable},
+		{engine.NonSecure, counter.Morphable},
+	}
+	lat := make([][]float64, len(ws))
+	for i := range lat {
+		lat[i] = make([]float64, len(points))
+	}
+	o.forEachCell(len(ws), len(points), func(i, p int) {
+		res := o.detailedRun(ws[i].Name(), points[p].mode, points[p].scheme, 15, 128, false)
+		lat[i][p] = res.AvgMissLatencyNS
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), lat[i]...)
 	}
 	return t
 }
@@ -300,9 +369,14 @@ func Figure15(o Options) *stats.Table {
 		Title:  "Figure 15: blocks covered per memoized counter value",
 		Series: []string{"blocks"},
 	}
-	for _, w := range o.workloads() {
-		res := sim.RunLifetime(w, o.lifetimeConfig(engine.RMCC, counter.Morphable))
-		t.Add(w.Name(), res.CoveragePerValue)
+	ws := o.workloads()
+	rows := make([]float64, len(ws))
+	o.forEachIndex(len(ws), func(i int) {
+		res := sim.RunLifetime(ws[i], o.lifetimeConfig(engine.RMCC, counter.Morphable))
+		rows[i] = res.CoveragePerValue
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), rows[i])
 	}
 	return t
 }
@@ -315,9 +389,11 @@ func Figure16(o Options) *stats.Table {
 		Unit:   "%",
 		Series: []string{"memoizing L0", "memoizing L1", "total"},
 	}
-	for _, w := range o.workloads() {
-		name := w.Name()
-		base := sim.RunLifetime(w, o.lifetimeConfig(engine.Baseline, counter.Morphable))
+	ws := o.workloads()
+	rows := make([][]float64, len(ws))
+	o.forEachIndex(len(ws), func(i int) {
+		name := ws[i].Name()
+		base := sim.RunLifetime(ws[i], o.lifetimeConfig(engine.Baseline, counter.Morphable))
 		w2, _ := workload.ByName(o.Size, o.Seed, name)
 		rm := sim.RunLifetime(w2, o.lifetimeConfig(engine.RMCC, counter.Morphable))
 		bt := float64(base.Engine.TotalTraffic())
@@ -330,7 +406,10 @@ func Figure16(o Options) *stats.Table {
 		if total < 0 {
 			total = 0
 		}
-		t.Add(name, l0, l1, total)
+		rows[i] = []float64{l0, l1, total}
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), rows[i]...)
 	}
 	return t
 }
@@ -344,15 +423,20 @@ func Figure17(o Options) *stats.Table {
 		Series:  []string{"15ns AES", "22ns AES"},
 		GeoMean: true,
 	}
-	for _, w := range o.workloads() {
-		name := w.Name()
-		row := make([]float64, 0, 2)
-		for _, aesNS := range []int64{15, 22} {
-			mo := o.detailedRun(name, engine.Baseline, counter.Morphable, aesNS, 128, false)
-			rm := o.detailedRun(name, engine.RMCC, counter.Morphable, aesNS, 128, false)
-			row = append(row, rm.IPC/mo.IPC)
-		}
-		t.Add(name, row...)
+	ws := o.workloads()
+	lats := []int64{15, 22}
+	rows := make([][]float64, len(ws))
+	for i := range rows {
+		rows[i] = make([]float64, len(lats))
+	}
+	o.forEachCell(len(ws), len(lats), func(i, p int) {
+		name := ws[i].Name()
+		mo := o.detailedRun(name, engine.Baseline, counter.Morphable, lats[p], 128, false)
+		rm := o.detailedRun(name, engine.RMCC, counter.Morphable, lats[p], 128, false)
+		rows[i][p] = rm.IPC / mo.IPC
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), rows[i]...)
 	}
 	return t
 }
@@ -366,15 +450,20 @@ func Figure18(o Options) *stats.Table {
 		Series:  []string{"128KB", "256KB", "512KB"},
 		GeoMean: true,
 	}
-	for _, w := range o.workloads() {
-		name := w.Name()
-		row := make([]float64, 0, 3)
-		for _, kb := range []int{128, 256, 512} {
-			mo := o.detailedRun(name, engine.Baseline, counter.Morphable, 15, kb, false)
-			rm := o.detailedRun(name, engine.RMCC, counter.Morphable, 15, kb, false)
-			row = append(row, rm.IPC/mo.IPC)
-		}
-		t.Add(name, row...)
+	ws := o.workloads()
+	sizes := []int{128, 256, 512}
+	rows := make([][]float64, len(ws))
+	for i := range rows {
+		rows[i] = make([]float64, len(sizes))
+	}
+	o.forEachCell(len(ws), len(sizes), func(i, p int) {
+		name := ws[i].Name()
+		mo := o.detailedRun(name, engine.Baseline, counter.Morphable, 15, sizes[p], false)
+		rm := o.detailedRun(name, engine.RMCC, counter.Morphable, 15, sizes[p], false)
+		rows[i][p] = rm.IPC / mo.IPC
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), rows[i]...)
 	}
 	return t
 }
@@ -387,18 +476,22 @@ func Figure19(o Options) *stats.Table {
 		Unit:   "%",
 		Series: []string{"1% budget", "2% budget", "8% budget"},
 	}
-	for _, w := range o.workloads() {
-		name := w.Name()
-		row := make([]float64, 0, 3)
-		for _, frac := range []float64{0.01, 0.02, 0.08} {
-			wl, _ := workload.ByName(o.Size, o.Seed, name)
-			cfg := o.lifetimeConfig(engine.RMCC, counter.Morphable)
-			cfg.Engine.L0Table.BudgetFrac = frac
-			cfg.Engine.L1Table.BudgetFrac = frac
-			res := sim.RunLifetime(wl, cfg)
-			row = append(row, res.Engine.MemoHitRateAll())
-		}
-		t.Add(name, row...)
+	ws := o.workloads()
+	fracs := []float64{0.01, 0.02, 0.08}
+	rows := make([][]float64, len(ws))
+	for i := range rows {
+		rows[i] = make([]float64, len(fracs))
+	}
+	o.forEachCell(len(ws), len(fracs), func(i, p int) {
+		wl, _ := workload.ByName(o.Size, o.Seed, ws[i].Name())
+		cfg := o.lifetimeConfig(engine.RMCC, counter.Morphable)
+		cfg.Engine.L0Table.BudgetFrac = fracs[p]
+		cfg.Engine.L1Table.BudgetFrac = fracs[p]
+		res := sim.RunLifetime(wl, cfg)
+		rows[i][p] = res.Engine.MemoHitRateAll()
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), rows[i]...)
 	}
 	return t
 }
@@ -410,27 +503,40 @@ func Figure20(o Options) *stats.Table {
 		Unit:   "%",
 		Series: []string{"1% budget", "2% budget", "8% budget"},
 	}
-	for _, w := range o.workloads() {
-		name := w.Name()
-		base := sim.RunLifetime(w, o.lifetimeConfig(engine.Baseline, counter.Morphable))
-		bt := float64(base.Engine.TotalTraffic())
+	ws := o.workloads()
+	fracs := []float64{0.01, 0.02, 0.08}
+	// Cell p == 0 is the Morphable baseline; cells 1..3 are the budget runs.
+	traffic := make([][]uint64, len(ws))
+	for i := range traffic {
+		traffic[i] = make([]uint64, len(fracs)+1)
+	}
+	o.forEachCell(len(ws), len(fracs)+1, func(i, p int) {
+		if p == 0 {
+			res := sim.RunLifetime(ws[i], o.lifetimeConfig(engine.Baseline, counter.Morphable))
+			traffic[i][0] = res.Engine.TotalTraffic()
+			return
+		}
+		wl, _ := workload.ByName(o.Size, o.Seed, ws[i].Name())
+		cfg := o.lifetimeConfig(engine.RMCC, counter.Morphable)
+		cfg.Engine.L0Table.BudgetFrac = fracs[p-1]
+		cfg.Engine.L1Table.BudgetFrac = fracs[p-1]
+		res := sim.RunLifetime(wl, cfg)
+		traffic[i][p] = res.Engine.TotalTraffic()
+	})
+	for i, w := range ws {
+		bt := float64(traffic[i][0])
 		if bt == 0 {
 			bt = 1
 		}
-		row := make([]float64, 0, 3)
-		for _, frac := range []float64{0.01, 0.02, 0.08} {
-			wl, _ := workload.ByName(o.Size, o.Seed, name)
-			cfg := o.lifetimeConfig(engine.RMCC, counter.Morphable)
-			cfg.Engine.L0Table.BudgetFrac = frac
-			cfg.Engine.L1Table.BudgetFrac = frac
-			res := sim.RunLifetime(wl, cfg)
-			over := float64(res.Engine.TotalTraffic())/bt - 1
+		row := make([]float64, 0, len(fracs))
+		for p := 1; p <= len(fracs); p++ {
+			over := float64(traffic[i][p])/bt - 1
 			if over < 0 {
 				over = 0
 			}
 			row = append(row, over)
 		}
-		t.Add(name, row...)
+		t.Add(w.Name(), row...)
 	}
 	return t
 }
@@ -443,21 +549,33 @@ func groupSweep(o Options, metric func(sim.LifetimeResult, sim.LifetimeResult) f
 		Unit:   unit,
 		Series: []string{"group size 4", "group size 8", "group size 16"},
 	}
-	for _, w := range o.workloads() {
-		name := w.Name()
-		base := sim.RunLifetime(w, o.lifetimeConfig(engine.Baseline, counter.Morphable))
-		row := make([]float64, 0, 3)
-		for _, gs := range []int{4, 8, 16} {
-			wl, _ := workload.ByName(o.Size, o.Seed, name)
-			cfg := o.lifetimeConfig(engine.RMCC, counter.Morphable)
-			cfg.Engine.L0Table.GroupSize = gs
-			cfg.Engine.L0Table.Groups = 128 / gs
-			cfg.Engine.L1Table.GroupSize = gs
-			cfg.Engine.L1Table.Groups = 128 / gs
-			res := sim.RunLifetime(wl, cfg)
-			row = append(row, metric(res, base))
+	ws := o.workloads()
+	sizes := []int{4, 8, 16}
+	// Cell p == 0 is the Morphable baseline; cells 1..3 sweep the group size.
+	results := make([][]sim.LifetimeResult, len(ws))
+	for i := range results {
+		results[i] = make([]sim.LifetimeResult, len(sizes)+1)
+	}
+	o.forEachCell(len(ws), len(sizes)+1, func(i, p int) {
+		if p == 0 {
+			results[i][0] = sim.RunLifetime(ws[i], o.lifetimeConfig(engine.Baseline, counter.Morphable))
+			return
 		}
-		t.Add(name, row...)
+		gs := sizes[p-1]
+		wl, _ := workload.ByName(o.Size, o.Seed, ws[i].Name())
+		cfg := o.lifetimeConfig(engine.RMCC, counter.Morphable)
+		cfg.Engine.L0Table.GroupSize = gs
+		cfg.Engine.L0Table.Groups = 128 / gs
+		cfg.Engine.L1Table.GroupSize = gs
+		cfg.Engine.L1Table.Groups = 128 / gs
+		results[i][p] = sim.RunLifetime(wl, cfg)
+	})
+	for i, w := range ws {
+		row := make([]float64, 0, len(sizes))
+		for p := 1; p <= len(sizes); p++ {
+			row = append(row, metric(results[i][p], results[i][0]))
+		}
+		t.Add(w.Name(), row...)
 	}
 	return t
 }
@@ -497,10 +615,11 @@ func Headline(o Options) *stats.Table {
 		Unit:   "%",
 		Series: []string{"accelerated", "L1 memo hit", "max ctr growth"},
 	}
-	for _, w := range o.workloads() {
-		name := w.Name()
-		base := sim.RunLifetime(w, o.lifetimeConfig(engine.Baseline, counter.Morphable))
-		wl, _ := workload.ByName(o.Size, o.Seed, name)
+	ws := o.workloads()
+	rows := make([][]float64, len(ws))
+	o.forEachIndex(len(ws), func(i int) {
+		base := sim.RunLifetime(ws[i], o.lifetimeConfig(engine.Baseline, counter.Morphable))
+		wl, _ := workload.ByName(o.Size, o.Seed, ws[i].Name())
 		rm := sim.RunLifetime(wl, o.lifetimeConfig(engine.RMCC, counter.Morphable))
 		l1Rate := 0.0
 		if rm.Engine.L1MemoLookupsOnMiss > 0 {
@@ -510,7 +629,10 @@ func Headline(o Options) *stats.Table {
 		if base.MaxCounter > 0 {
 			growth = float64(rm.MaxCounter)/float64(base.MaxCounter) - 1
 		}
-		t.Add(name, rm.Engine.AcceleratedRate(), l1Rate, growth)
+		rows[i] = []float64{rm.Engine.AcceleratedRate(), l1Rate, growth}
+	})
+	for i, w := range ws {
+		t.Add(w.Name(), rows[i]...)
 	}
 	return t
 }

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers resolves Options.Parallelism to a concrete worker count:
+// 0 or 1 means sequential, negative means one worker per CPU.
+func (o Options) workers() int {
+	switch {
+	case o.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism == 0:
+		return 1
+	default:
+		return o.Parallelism
+	}
+}
+
+// forEachIndex runs fn(i) for every i in [0, n), fanning the indices across
+// up to workers() goroutines via an atomic work counter. Callers write each
+// result into an index-addressed slot and assemble tables afterwards in
+// index order, so the rendered output is byte-identical to a sequential run
+// regardless of Parallelism. Every cell is an independent simulation over
+// its own workload and engine instances; the only shared state is the
+// detailed-run cache, which dedups concurrent builds per key.
+func (o Options) forEachIndex(n int, fn func(i int)) {
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for j := 0; j < w; j++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// cell identifies one (workload, sweep point) unit of work when a figure
+// sweeps a configuration axis per workload.
+type cell struct{ w, p int }
+
+// forEachCell fans rows×points cells across the worker pool.
+func (o Options) forEachCell(rows, points int, fn func(w, p int)) {
+	cells := make([]cell, 0, rows*points)
+	for w := 0; w < rows; w++ {
+		for p := 0; p < points; p++ {
+			cells = append(cells, cell{w, p})
+		}
+	}
+	o.forEachIndex(len(cells), func(i int) { fn(cells[i].w, cells[i].p) })
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+	"rmcc/internal/stats"
+)
+
+func tableString(t *stats.Table) string { return t.String() }
+
+// TestParallelismDeterministic renders representative figures sequentially
+// and with an 8-worker pool and requires byte-identical tables: the worker
+// pool must not change any result, only wall-clock time.
+func TestParallelismDeterministic(t *testing.T) {
+	figures := []struct {
+		name string
+		run  func(Options) *stats.Table
+	}{
+		{"figure10", Figure10},
+		{"ablation", Ablation},
+		{"figure20", Figure20},
+	}
+	for _, fig := range figures {
+		seq := testOptions()
+		seq.Parallelism = 1
+		par := testOptions()
+		par.Parallelism = 8
+		a := tableString(fig.run(seq))
+		b := tableString(fig.run(par))
+		if a != b {
+			t.Errorf("%s: parallel table differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", fig.name, a, b)
+		}
+	}
+}
+
+// TestParallelismDeterministicDetailed covers the detailed-simulation path
+// (shared result cache) with Figure 13.
+func TestParallelismDeterministicDetailed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed runs are slow")
+	}
+	seq := testOptions()
+	seq.Parallelism = 1
+	par := testOptions()
+	par.Parallelism = 8
+	a := tableString(Figure13(seq))
+	b := tableString(Figure13(par))
+	if a != b {
+		t.Fatalf("figure13: parallel table differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestDetailedRunDedupUnderRace hammers one cache key from many goroutines
+// and requires exactly one simulation build: the per-entry sync.Once must
+// collapse concurrent duplicate requests. Run with -race in CI.
+func TestDetailedRunDedupUnderRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed runs are slow")
+	}
+	o := testOptions()
+	// A key no other test uses, so this test observes its own build count.
+	const ctrKB = 64
+	before := detailedBuilds.Load()
+	var wg sync.WaitGroup
+	results := make([]float64, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res := o.detailedRun("mcf", engine.RMCC, counter.Morphable, 15, ctrKB, false)
+			results[g] = res.IPC
+		}(g)
+	}
+	wg.Wait()
+	if built := detailedBuilds.Load() - before; built != 1 {
+		t.Fatalf("16 concurrent identical requests built %d simulations, want 1", built)
+	}
+	for g := 1; g < 16; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d saw IPC %v, goroutine 0 saw %v", g, results[g], results[0])
+		}
+	}
+}
+
+// TestForEachIndexCoversAll checks the work queue hits every index exactly
+// once for worker counts below, at, and above the item count.
+func TestForEachIndexCoversAll(t *testing.T) {
+	for _, par := range []int{1, 3, 8, 64} {
+		o := testOptions()
+		o.Parallelism = par
+		const n = 23
+		var counts [n]int
+		var mu sync.Mutex
+		o.forEachIndex(n, func(i int) {
+			mu.Lock()
+			counts[i]++
+			mu.Unlock()
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("parallelism %d: index %d ran %d times", par, i, c)
+			}
+		}
+	}
+}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"rmcc/internal/secmem/counter"
 	"rmcc/internal/secmem/engine"
-	"rmcc/internal/sim"
 	"rmcc/internal/stats"
 )
 
@@ -24,16 +23,27 @@ func ExtensionSpeculation(o Options) *stats.Table {
 	if names == nil {
 		names = []string{"canneal", "omnetpp", "BFS"}
 	}
-	for _, name := range names {
-		run := func(mode engine.Mode, spec bool) sim.DetailedResult {
-			return o.detailedRun(name, mode, counter.Morphable, 15, 128, spec)
-		}
-		ns := run(engine.NonSecure, false)
-		mo := run(engine.Baseline, false)
-		moSpec := run(engine.Baseline, true)
-		rm := run(engine.RMCC, false)
-		rmSpec := run(engine.RMCC, true)
-		t.Add(name, mo.IPC/ns.IPC, moSpec.IPC/ns.IPC, rm.IPC/ns.IPC, rmSpec.IPC/ns.IPC)
+	points := []struct {
+		mode engine.Mode
+		spec bool
+	}{
+		{engine.NonSecure, false},
+		{engine.Baseline, false},
+		{engine.Baseline, true},
+		{engine.RMCC, false},
+		{engine.RMCC, true},
+	}
+	ipc := make([][]float64, len(names))
+	for i := range ipc {
+		ipc[i] = make([]float64, len(points))
+	}
+	o.forEachCell(len(names), len(points), func(i, p int) {
+		res := o.detailedRun(names[i], points[p].mode, counter.Morphable, 15, 128, points[p].spec)
+		ipc[i][p] = res.IPC
+	})
+	for i, name := range names {
+		ns := ipc[i][0]
+		t.Add(name, ipc[i][1]/ns, ipc[i][2]/ns, ipc[i][3]/ns, ipc[i][4]/ns)
 	}
 	return t
 }

@@ -196,6 +196,12 @@ type Outcome struct {
 	// CtrCacheHit: the L0 counter block was resident (reads and writes).
 	CtrCacheHit bool
 	// Chain lists counter-chain fetches from DRAM, ordered L0 upward.
+	//
+	// Chain and Extra are backed by controller-owned scratch storage that
+	// the next Read/Write on the same controller reuses, so steady-state
+	// accesses allocate nothing; callers that retain them across accesses
+	// must copy. OverflowTraffic is always freshly allocated — the detailed
+	// simulator's overflow engine drains it asynchronously.
 	Chain []ChainFetch
 	// L0MemoHit/L0MemoSource: the data block's counter value was memoized
 	// (meaningful in RMCC mode; used for both timing and Figure 10/19).
@@ -255,6 +261,12 @@ type MC struct {
 	// needRekey defers a re-key triggered mid-walk (tree-counter ceiling,
 	// RekeyRecover escalation) to the end of the current access.
 	needRekey bool
+
+	// scratchExtra and scratchChain back Outcome.Extra/Outcome.Chain and
+	// are reused by the next access (see the Outcome field docs), keeping
+	// the steady-state Read/Write paths allocation-free.
+	scratchExtra []Traffic
+	scratchChain []ChainFetch
 
 	stats Stats
 }

@@ -171,7 +171,7 @@ func (mc *MC) walkChain(l0Idx int, dirty bool, isRead bool, out *[]Traffic, over
 		return nil, true, true
 	}
 	mc.stats.ChainFetches[0]++
-	chain = append(chain, ChainFetch{Addr: l0Addr, Level: 0})
+	chain = append(mc.scratchChain[:0], ChainFetch{Addr: l0Addr, Level: 0})
 
 	// Walk up: to verify the fetched level-(l-1) block we need its counter
 	// at level l. A cache hit ends the walk.
@@ -212,5 +212,6 @@ func (mc *MC) walkChain(l0Idx int, dirty bool, isRead bool, out *[]Traffic, over
 		chain = append(chain, fetch)
 		childIdx = mc.store.TreeNodeIndex(childIdx)
 	}
+	mc.scratchChain = chain
 	return chain, false, l1Covered
 }

@@ -16,6 +16,7 @@ func (mc *MC) Read(addr uint64) Outcome {
 	if mc.cfg.Mode == NonSecure {
 		return out
 	}
+	out.Extra = mc.scratchExtra[:0]
 
 	i := mc.store.DataBlockIndex(addr)
 	l0Idx := mc.store.L0Index(i)
@@ -93,6 +94,7 @@ func (mc *MC) Read(addr uint64) Outcome {
 		mc.addTraffic(t)
 	}
 	mc.finish(&out)
+	mc.scratchExtra = out.Extra
 	return out
 }
 

@@ -15,6 +15,7 @@ func (mc *MC) Write(addr uint64) Outcome {
 		mc.stats.TrafficBlocks[dram.KindData]++
 		return out
 	}
+	out.Extra = mc.scratchExtra[:0]
 
 	i := mc.store.DataBlockIndex(addr)
 	l0Idx := mc.store.L0Index(i)
@@ -128,5 +129,6 @@ func (mc *MC) Write(addr uint64) Outcome {
 		mc.addTraffic(t)
 	}
 	mc.finish(&out)
+	mc.scratchExtra = out.Extra
 	return out
 }

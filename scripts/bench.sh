@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Perf-regression harness: regenerate the quick experiment suite plus the
+# hot-path micro-benchmarks and archive the machine-readable report as
+# BENCH_<date>.json in the repo root. Compare against the checked-in
+# baseline from the previous PR to catch wall-clock or allocs/op
+# regressions before merging.
+#
+# Usage:
+#   scripts/bench.sh                 # quick suite, all figures
+#   scripts/bench.sh -figures figure13,figure14
+#   PARALLEL=8 scripts/bench.sh      # pin the worker-pool size
+#
+# Extra arguments are passed through to rmcc-experiments.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%Y-%m-%d).json"
+parallel="${PARALLEL:-0}"
+args=(-quick -json -micro)
+if [ "$parallel" != "0" ]; then
+    args+=(-parallel "$parallel")
+fi
+
+echo "bench: writing $out (parallel=${parallel:-auto})" >&2
+go run ./cmd/rmcc-experiments "${args[@]}" "$@" > "$out"
+
+# Headline summary for the console / CI log.
+grep -E '"(name|ns_per_op|allocs_per_op|total_seconds)"' "$out" | sed 's/^ *//' >&2
+echo "bench: done -> $out" >&2
