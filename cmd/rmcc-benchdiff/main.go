@@ -1,0 +1,141 @@
+// Command rmcc-benchdiff compares two perf reports produced by
+// rmcc-experiments -json (the format scripts/bench.sh archives as
+// BENCH_<date>.json) and fails when the current run regresses against the
+// baseline:
+//
+//   - a figure present in both reports got more than -threshold (default
+//     25%) slower in wall-clock seconds, or
+//   - a micro-benchmark present in both reports started allocating where
+//     the baseline did not (the engine read-hit path must stay 0
+//     allocs/op).
+//
+// Figures or micro-benchmarks present in only one report are listed but
+// never fail the diff — PRs add and remove figures.
+//
+// Usage:
+//
+//	rmcc-benchdiff -baseline BENCH_2026-08-06.json -current /tmp/fresh.json
+//
+// Exit status: 0 when no regression, 1 on regression, 2 on usage/parse
+// errors. See scripts/bench_diff.sh for the CI entry point.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	Generated    string   `json:"generated"`
+	Quick        bool     `json:"quick"`
+	Seed         uint64   `json:"seed"`
+	Figures      []figure `json:"figures"`
+	Micro        []micro  `json:"micro"`
+	TotalSeconds float64  `json:"total_seconds"`
+}
+
+type figure struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+type micro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline perf report (BENCH_<date>.json)")
+		currentPath  = flag.String("current", "", "fresh perf report to compare")
+		threshold    = flag.Float64("threshold", 0.25, "relative wall-clock slowdown that fails the diff")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "rmcc-benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmcc-benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmcc-benchdiff:", err)
+		os.Exit(2)
+	}
+
+	regressions := 0
+
+	baseFigs := map[string]figure{}
+	for _, f := range base.Figures {
+		baseFigs[f.Name] = f
+	}
+	fmt.Printf("%-24s %12s %12s %8s\n", "figure", "base (s)", "current (s)", "delta")
+	for _, f := range cur.Figures {
+		b, ok := baseFigs[f.Name]
+		if !ok {
+			fmt.Printf("%-24s %12s %12.2f %8s  (new figure, not compared)\n", f.Name, "-", f.Seconds, "-")
+			continue
+		}
+		delete(baseFigs, f.Name)
+		rel := 0.0
+		if b.Seconds > 0 {
+			rel = f.Seconds/b.Seconds - 1
+		}
+		mark := ""
+		if rel > *threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-24s %12.2f %12.2f %+7.1f%%%s\n", f.Name, b.Seconds, f.Seconds, 100*rel, mark)
+	}
+	for name := range baseFigs {
+		fmt.Printf("%-24s %12.2f %12s %8s  (removed figure, not compared)\n",
+			name, baseFigs[name].Seconds, "-", "-")
+	}
+
+	baseMicro := map[string]micro{}
+	for _, m := range base.Micro {
+		baseMicro[m.Name] = m
+	}
+	if len(cur.Micro) > 0 {
+		fmt.Printf("\n%-24s %12s %12s %10s\n", "micro", "base ns/op", "cur ns/op", "allocs")
+	}
+	for _, m := range cur.Micro {
+		b, ok := baseMicro[m.Name]
+		if !ok {
+			fmt.Printf("%-24s %12s %12.1f %10d  (new bench, not compared)\n", m.Name, "-", m.NsPerOp, m.AllocsPerOp)
+			continue
+		}
+		mark := ""
+		if b.AllocsPerOp == 0 && m.AllocsPerOp > 0 {
+			mark = fmt.Sprintf("  REGRESSION (allocates %d/op, baseline 0)", m.AllocsPerOp)
+			regressions++
+		}
+		fmt.Printf("%-24s %12.1f %12.1f %6d->%-3d%s\n", m.Name, b.NsPerOp, m.NsPerOp, b.AllocsPerOp, m.AllocsPerOp, mark)
+	}
+
+	if regressions > 0 {
+		fmt.Printf("\n%d regression(s) beyond %.0f%% threshold\n", regressions, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Println("\nno regressions")
+}
+
+func load(path string) (report, error) {
+	var r report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return r, nil
+}

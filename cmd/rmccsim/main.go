@@ -22,8 +22,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"rmcc"
+	"rmcc/internal/obs"
 )
 
 func main() {
@@ -41,6 +43,11 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		metricsOut  = flag.String("metrics-out", "", "write run metrics to this file (.json for JSON, else Prometheus text; - for stdout)")
+		traceOut    = flag.String("trace-out", "", "write the per-access event trace (JSON Lines) to this file (- for stdout)")
+		traceCap    = flag.Int("trace-cap", obs.DefaultTracerCap, "event-trace ring capacity (newest N events retained)")
+		manifestOut = flag.String("manifest-out", "", "write the run manifest (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -101,24 +108,84 @@ func main() {
 		fatal(fmt.Errorf("unknown workload %q (use -list)", *name))
 	}
 
+	// Observability: one registry/tracer per run, attached through the
+	// driver config and exported after the run completes.
+	var (
+		reg *obs.Registry
+		tr  *obs.Tracer
+	)
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		tr = obs.NewTracer(*traceCap)
+	}
+	manifest := obs.NewManifest("rmccsim", map[string]any{
+		"workload": *name, "size": *sizeStr, "mode": *modeStr,
+		"scheme": *schemeStr, "driver": *driver, "accesses": *accesses,
+		"aes_ns": *aesNS, "cores": *cores,
+	})
+	manifest.Seed = *seed
+	manifest.GoMaxProcs = runtime.GOMAXPROCS(0)
+	manifest.Notes["workload"] = *name
+	manifest.Notes["driver"] = *driver
+	manifest.Notes["mode"] = *modeStr
+	manifest.Notes["scheme"] = *schemeStr
+	started := time.Now()
+	manifest.Started = started.UTC().Format(time.RFC3339)
+
 	engCfg := rmcc.DefaultEngineConfig(mode, scheme)
 	switch *driver {
 	case "lifetime":
 		cfg := rmcc.DefaultLifetimeConfig(engCfg)
 		cfg.MaxAccesses = *accesses
 		cfg.Seed = *seed
+		cfg.Metrics = reg
+		cfg.Tracer = tr
 		res := rmcc.RunLifetime(w, cfg)
 		printLifetime(res)
+		e := res.Engine
+		manifest.Headline["accesses"] = float64(res.Accesses)
+		manifest.Headline["ctr_miss_rate"] = e.CtrMissRate()
+		manifest.Headline["memo_hit_rate_on_misses"] = e.MemoHitRateOnMisses()
+		manifest.Headline["memo_hit_rate_all"] = e.MemoHitRateAll()
+		manifest.Headline["accelerated_rate"] = e.AcceleratedRate()
+		manifest.Headline["total_traffic_blocks"] = float64(e.TotalTraffic())
+		manifest.Headline["max_counter"] = float64(res.MaxCounter)
 	case "detailed":
 		cfg := rmcc.DefaultDetailedConfig(engCfg)
 		cfg.Seed = *seed
 		cfg.Cores = *cores
 		cfg.AESLat = *aesNS * 1000
 		cfg.MeasureAccesses = *accesses
+		cfg.Metrics = reg
+		cfg.Tracer = tr
 		res := rmcc.RunDetailed(w, cfg)
 		printDetailed(res)
+		manifest.Headline["ipc"] = res.IPC
+		manifest.Headline["llc_misses"] = float64(res.LLCMisses)
+		manifest.Headline["avg_miss_latency_ns"] = res.AvgMissLatencyNS
+		manifest.Headline["ctr_miss_rate"] = res.Engine.CtrMissRate()
+		manifest.Headline["memo_hit_rate_on_misses"] = res.Engine.MemoHitRateOnMisses()
 	default:
 		fatal(fmt.Errorf("unknown driver %q", *driver))
+	}
+	manifest.WallClockSeconds = time.Since(started).Seconds()
+
+	if reg != nil {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fatal(fmt.Errorf("write metrics: %w", err))
+		}
+	}
+	if tr != nil {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fatal(fmt.Errorf("write trace: %w", err))
+		}
+	}
+	if *manifestOut != "" {
+		if err := manifest.WriteFile(*manifestOut); err != nil {
+			fatal(fmt.Errorf("write manifest: %w", err))
+		}
 	}
 }
 

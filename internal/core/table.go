@@ -27,6 +27,7 @@ import (
 	"sort"
 
 	"rmcc/internal/crypto/otp"
+	"rmcc/internal/obs"
 )
 
 // Config parameterizes one memoization table.
@@ -168,6 +169,12 @@ type Table struct {
 	budget budget
 
 	stats Stats
+
+	// trace receives lifecycle events (insertions, epoch rollovers, budget
+	// activity) when attached via SetTracer; nil disables tracing. traceID
+	// distinguishes the MC's tables in the event stream (0 = L0, 1 = L1).
+	trace   *obs.Tracer
+	traceID uint64
 }
 
 type budget struct {
@@ -234,6 +241,14 @@ func (t *Table) Seed(starts []uint64) {
 
 // Stats returns a copy of the counters.
 func (t *Table) Stats() Stats { return t.stats }
+
+// SetTracer attaches tr (nil detaches) with the given table id; events the
+// table emits carry id in their Addr field (0 = L0, 1 = L1 by engine
+// convention).
+func (t *Table) SetTracer(tr *obs.Tracer, id uint64) {
+	t.trace = tr
+	t.traceID = id
+}
 
 // installGroup memoizes GroupSize consecutive values starting at start into
 // slot i, computing their counter-only AES results.
@@ -475,6 +490,7 @@ func (t *Table) insertNewGroup() {
 	t.evictToShadow(victim)
 	t.installGroup(victim, start)
 	t.stats.Insertions++
+	t.trace.Emit(obs.EvMemoInsert, t.traceID, start, 0)
 	t.recomputeWatchpoints()
 }
 
@@ -523,6 +539,7 @@ func (t *Table) endEpoch() {
 	t.rerank()
 	// Carry leftover budget into the new epoch.
 	t.budget.available += t.budget.perEpoch
+	t.trace.Emit(obs.EvEpochRollover, t.traceID, t.stats.Epochs, uint64(t.budget.available))
 	// Age use counts so stale popularity decays.
 	for i := range t.groups {
 		t.groups[i].useCount /= 2
@@ -608,10 +625,12 @@ func (t *Table) rerank() {
 func (t *Table) SpendBudget(blocks int) bool {
 	if float64(blocks) > t.budget.available {
 		t.stats.BudgetDenied++
+		t.trace.Emit(obs.EvBudgetDenied, t.traceID, uint64(blocks), uint64(t.budget.available))
 		return false
 	}
 	t.budget.available -= float64(blocks)
 	t.stats.BudgetSpent += uint64(blocks)
+	t.trace.Emit(obs.EvBudgetSpend, t.traceID, uint64(blocks), uint64(t.budget.available))
 	return true
 }
 

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed, deterministic buckets chosen at
+// construction. Bucket i counts observations v <= bounds[i] (Prometheus
+// "le" semantics, cumulative at export); the implicit final bucket catches
+// everything else. Observe is a binary search plus two atomic adds —
+// allocation-free and safe for concurrent writers. Nil-safe.
+type Histogram struct {
+	bounds []uint64        // ascending upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+// newHistogram validates and copies the bounds. Panics on unsorted or
+// duplicate bounds: bucket layouts are build-time constants, and a bad one
+// would silently misbucket every observation.
+func newHistogram(bounds []uint64) *Histogram {
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns total observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets returns the upper bounds and the *cumulative* count at each bound
+// (Prometheus le semantics), excluding the +Inf bucket; the +Inf cumulative
+// count equals Count.
+func (h *Histogram) Buckets() (bounds []uint64, cumulative []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = make([]uint64, len(h.bounds))
+	copy(bounds, h.bounds)
+	cumulative = make([]uint64, len(h.bounds))
+	var c uint64
+	for i := range h.bounds {
+		c += h.counts[i].Load()
+		cumulative[i] = c
+	}
+	return bounds, cumulative
+}
+
+// Pow2Buckets returns ascending power-of-two bucket bounds from 1<<lo to
+// 1<<hi inclusive — the deterministic default layout for block-count and
+// latency histograms.
+func Pow2Buckets(lo, hi uint) []uint64 {
+	if hi < lo {
+		hi = lo
+	}
+	out := make([]uint64, 0, hi-lo+1)
+	for e := lo; e <= hi; e++ {
+		out = append(out, uint64(1)<<e)
+	}
+	return out
+}
+
+// LinearBuckets returns n ascending bounds start, start+step, ...
+func LinearBuckets(start, step uint64, n int) []uint64 {
+	if step == 0 {
+		step = 1
+	}
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, start+step*uint64(i))
+	}
+	return out
+}

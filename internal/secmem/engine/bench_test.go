@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"rmcc/internal/obs"
 	"rmcc/internal/secmem/counter"
 )
 
@@ -12,6 +13,22 @@ import (
 func BenchmarkEngineReadHit(b *testing.B) {
 	mc := testMC(b, RMCC, counter.Morphable, 64, nil)
 	mc.Read(0x100000) // warm the counter block
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mc.Read(0x100000 + uint64(i&63)*64)
+	}
+}
+
+// BenchmarkEngineReadHitObserved is BenchmarkEngineReadHit with a metrics
+// registry and event tracer attached — the acceptance bar for the
+// observability layer is that this stays 0 B/op and within noise of the
+// unobserved benchmark.
+func BenchmarkEngineReadHitObserved(b *testing.B) {
+	mc := testMC(b, RMCC, counter.Morphable, 64, nil)
+	mc.RegisterMetrics(obs.NewRegistry())
+	mc.SetTracer(obs.NewTracer(obs.DefaultTracerCap))
+	mc.Read(0x100000)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -18,6 +18,7 @@ import (
 	"rmcc/internal/crypto/otp"
 	"rmcc/internal/mem/cache"
 	"rmcc/internal/mem/dram"
+	"rmcc/internal/obs"
 	"rmcc/internal/rng"
 	"rmcc/internal/secmem/counter"
 )
@@ -269,6 +270,13 @@ type MC struct {
 	scratchChain []ChainFetch
 
 	stats Stats
+
+	// trace, when attached via SetTracer, receives per-access lifecycle
+	// events; nil (the default) disables tracing at the cost of one branch
+	// per emit site. chainLenHist, when attached via RegisterMetrics,
+	// observes the counter-chain depth of every read miss.
+	trace        *obs.Tracer
+	chainLenHist *obs.Histogram
 }
 
 // New builds a memory controller; it panics on invalid configuration (the
@@ -298,16 +306,8 @@ func NewChecked(cfg Config) (*MC, error) {
 	mc.observedTreeMax = make([]uint64, mc.store.Levels()+1)
 	if cfg.RandomizeInit {
 		mc.store.Randomize(rng.New(cfg.InitSeed), counter.DefaultRandomize())
-		for l := 1; l <= mc.store.Levels(); l++ {
-			// Seed the per-level max registers from the randomized state.
-			var max uint64
-			for c := 0; c < mc.treeChildren(l); c++ {
-				if v := mc.store.TreeCounter(l, c); v > max {
-					max = v
-				}
-			}
-			mc.observedTreeMax[l] = max
-		}
+		// Seed the per-level max registers from the randomized state.
+		mc.rescanTreeMax()
 	}
 	if cfg.Mode == RMCC {
 		mc.buildTables()
@@ -350,6 +350,10 @@ func (mc *MC) buildTables() {
 	fill := func(v uint64) otp.CtrResult { return mc.unit.CounterOnly(v) }
 	mc.l0Table = core.MustNewTable(mc.cfg.L0Table, fill, func() uint64 { return mc.store.ObservedMax() })
 	mc.l1Table = core.MustNewTable(mc.cfg.L1Table, fill, func() uint64 { return mc.observedTreeMax[1] })
+	// Re-keys and power losses rebuild the tables; keep any attached
+	// tracer flowing across the rebuild.
+	mc.l0Table.SetTracer(mc.trace, 0)
+	mc.l1Table.SetTracer(mc.trace, 1)
 }
 
 // warmStart rebases most counter groups onto a set of hot counter values
@@ -393,13 +397,35 @@ func (mc *MC) warmStart() {
 		l1Bases := ladder(opts.BaseLo/8, span/8+1, mc.cfg.L1Table.Groups, mc.cfg.L1Table.GroupSize)
 		mc.store.WarmSnapTree(r, 1, l1Bases[:len(l1Bases)/2+1], mc.cfg.WarmStartFrac)
 		mc.l1Table.Seed(l1Bases)
+		// Refresh every per-level max register, not just level 1. Today
+		// WarmSnapTree only rewrites level-1 counters, so rescanning level
+		// 1 alone would be sufficient — but the observed-max registers are
+		// the §IV-D2 OSM analogs bounding where a new memoized group may
+		// start, and an under-reading register would let the table chase
+		// counter values the system never reached. Rescanning all levels
+		// keeps the invariant "observedTreeMax[l] == max stored counter at
+		// level l" structural rather than incidental (regression-tested by
+		// TestObservedTreeMaxMatchesStore).
+		mc.rescanTreeMax()
+	}
+}
+
+// rescanTreeMax recomputes every per-level observed-max register from the
+// stored tree counters — the tree analog of the data-side Observed System
+// Max register (§IV-D2): each register must upper-bound every counter at
+// its level so memoized-group insertion never outruns the system state.
+// Called after bulk counter rewrites (randomized init, warm start); the
+// incremental update paths in bumpTreeCounter/relevelTree maintain the
+// registers access-by-access.
+func (mc *MC) rescanTreeMax() {
+	for l := 1; l <= mc.store.Levels(); l++ {
 		var max uint64
-		for c := 0; c < mc.treeChildren(1); c++ {
-			if v := mc.store.TreeCounter(1, c); v > max {
+		for c := 0; c < mc.treeChildren(l); c++ {
+			if v := mc.store.TreeCounter(l, c); v > max {
 				max = v
 			}
 		}
-		mc.observedTreeMax[1] = max
+		mc.observedTreeMax[l] = max
 	}
 }
 

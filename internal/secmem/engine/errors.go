@@ -3,6 +3,8 @@ package engine
 import (
 	"errors"
 	"fmt"
+
+	"rmcc/internal/obs"
 )
 
 // Sentinel errors for the failure classes the memory controller can hit.
@@ -157,6 +159,16 @@ func (p RecoveryPolicy) String() string {
 func (mc *MC) recordViolation(v *IntegrityError) {
 	if v.Kind >= 0 && v.Kind < NumViolationKinds {
 		mc.stats.ViolationsByKind[v.Kind]++
+	}
+	if mc.trace != nil {
+		var rec uint64
+		if v.Recovered {
+			rec = 1
+		}
+		mc.trace.Emit(obs.EvFaultDetected, v.Addr, uint64(v.Kind), rec)
+		if v.Recovered {
+			mc.trace.Emit(obs.EvFaultRecovered, v.Addr, uint64(v.Kind), 0)
+		}
 	}
 	mc.pending = append(mc.pending, v)
 }

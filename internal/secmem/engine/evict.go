@@ -2,6 +2,7 @@ package engine
 
 import (
 	"rmcc/internal/mem/dram"
+	"rmcc/internal/obs"
 	"rmcc/internal/secmem/counter"
 )
 
@@ -94,6 +95,7 @@ func (mc *MC) bumpTreeCounter(l, childIdx int, out *[]Traffic, overflow *[]Traff
 		mc.store.SetTreeCounter(l, childIdx, next)
 		if l == 1 && next > mc.observedTreeMax[1] {
 			mc.observedTreeMax[1] = next
+			mc.trace.Emit(obs.EvOSMUpdate, 1, next, 0)
 		}
 		return
 	}
@@ -131,6 +133,7 @@ func (mc *MC) relevelTree(l, childIdx int, target uint64, out *[]Traffic, overfl
 	children := mc.store.RelevelTree(l, childIdx, target)
 	if l == 1 && target > mc.observedTreeMax[1] {
 		mc.observedTreeMax[1] = target
+		mc.trace.Emit(obs.EvOSMUpdate, 1, target, 0)
 	}
 	for _, c := range children {
 		var childAddr uint64

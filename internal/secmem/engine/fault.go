@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rmcc/internal/mem/dram"
+	"rmcc/internal/obs"
 	"rmcc/internal/secmem/counter"
 )
 
@@ -231,6 +232,7 @@ func (mc *MC) rekey(out *Outcome) {
 	mc.stats.RekeyBlocks += 2 * n
 	mc.stats.TrafficBlocks[dram.KindOther] += 2 * n
 	mc.needRekey = false
+	mc.trace.Emit(obs.EvRekey, 0, mc.keyEpoch, 0)
 	out.Rekeyed = true
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"rmcc/internal/core"
 	"rmcc/internal/mem/dram"
+	"rmcc/internal/obs"
 )
 
 // Read processes one LLC read miss for the data block containing addr and
@@ -22,15 +23,26 @@ func (mc *MC) Read(addr uint64) Outcome {
 	l0Idx := mc.store.L0Index(i)
 	ctrVal := mc.store.DataCounter(i)
 
+	// §IV-D2 data-OSM tracing: the register is maintained inside the
+	// counter store, so advances are detected by comparing around the
+	// access (only when a tracer is attached).
+	var preOSM uint64
+	if mc.trace != nil {
+		preOSM = mc.store.ObservedMax()
+	}
+
 	chain, l0Hit, l1Covered := mc.walkChain(l0Idx, false, true, &out.Extra, &out.OverflowTraffic)
 	out.CtrCacheHit = l0Hit
 	out.Chain = chain
 	if l0Hit {
 		mc.stats.CtrL0Hits++
+		mc.trace.Emit(obs.EvCtrCacheHit, addr, ctrVal, 0)
 	} else {
 		mc.stats.CtrL0Misses++
 		mc.stats.CtrL0ReadMisses++
+		mc.trace.Emit(obs.EvCtrCacheMiss, addr, ctrVal, 0)
 	}
+	mc.chainLenHist.Observe(uint64(len(chain)))
 
 	// Functional content check first: the fetched block is decrypted and
 	// verified under its current counter before any read-triggered update
@@ -59,6 +71,9 @@ func (mc *MC) Read(addr uint64) Outcome {
 		}
 		if src != core.MissSource {
 			mc.stats.L0MemoHitsAll++
+			mc.trace.Emit(obs.EvMemoHit, addr, ctrVal, uint64(src))
+		} else {
+			mc.trace.Emit(obs.EvMemoMiss, addr, ctrVal, 0)
 		}
 		out.L0MemoHit = src != core.MissSource
 		out.L0MemoSource = src
@@ -92,6 +107,11 @@ func (mc *MC) Read(addr uint64) Outcome {
 	}
 	for _, t := range out.OverflowTraffic {
 		mc.addTraffic(t)
+	}
+	if mc.trace != nil {
+		if v := mc.store.ObservedMax(); v > preOSM {
+			mc.trace.Emit(obs.EvOSMUpdate, 0, v, 0)
+		}
 	}
 	mc.finish(&out)
 	mc.scratchExtra = out.Extra

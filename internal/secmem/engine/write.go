@@ -2,6 +2,7 @@ package engine
 
 import (
 	"rmcc/internal/mem/dram"
+	"rmcc/internal/obs"
 	"rmcc/internal/secmem/counter"
 )
 
@@ -20,6 +21,12 @@ func (mc *MC) Write(addr uint64) Outcome {
 	i := mc.store.DataBlockIndex(addr)
 	l0Idx := mc.store.L0Index(i)
 
+	// §IV-D2 data-OSM tracing, as in Read: compare around the access.
+	var preOSM uint64
+	if mc.trace != nil {
+		preOSM = mc.store.ObservedMax()
+	}
+
 	// Writes need the counter block resident (and dirty): encrypting the
 	// block consumes and updates its counter.
 	chain, l0Hit, _ := mc.walkChain(l0Idx, true, false, &out.Extra, &out.OverflowTraffic)
@@ -29,6 +36,13 @@ func (mc *MC) Write(addr uint64) Outcome {
 		mc.stats.CtrL0Hits++
 	} else {
 		mc.stats.CtrL0Misses++
+	}
+	if mc.trace != nil {
+		ev := obs.EvCtrCacheMiss
+		if l0Hit {
+			ev = obs.EvCtrCacheHit
+		}
+		mc.trace.Emit(ev, addr, mc.store.DataCounter(i), 1)
 	}
 
 	// 56-bit counter ceiling (paper §VII): when this write's increment — or
@@ -127,6 +141,11 @@ func (mc *MC) Write(addr uint64) Outcome {
 	}
 	for _, t := range out.OverflowTraffic {
 		mc.addTraffic(t)
+	}
+	if mc.trace != nil {
+		if v := mc.store.ObservedMax(); v > preOSM {
+			mc.trace.Emit(obs.EvOSMUpdate, 0, v, 0)
+		}
 	}
 	mc.finish(&out)
 	mc.scratchExtra = out.Extra

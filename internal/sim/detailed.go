@@ -6,6 +6,7 @@ import (
 	"rmcc/internal/mem/cache"
 	"rmcc/internal/mem/dram"
 	"rmcc/internal/mem/vm"
+	"rmcc/internal/obs"
 	"rmcc/internal/secmem/counter"
 	"rmcc/internal/secmem/engine"
 	"rmcc/internal/sim/event"
@@ -49,6 +50,12 @@ type DetailedConfig struct {
 	PageBytes uint64
 	Seed      uint64
 	Cores     int
+
+	// Metrics, when set, receives func-backed views of the engine, cache
+	// hierarchy, and DRAM statistics plus a read-miss latency histogram.
+	// Tracer, when set, is attached to the MC. Both default to nil.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 
 	// FastForwardAccesses stream through the functional path only — the
 	// Gem5 "atomic mode" analog of the paper's 25-billion-instruction
@@ -214,6 +221,10 @@ type detailedSim struct {
 	cycPS      event.Time // ps per cycle
 	missLatSum event.Time
 	missCount  uint64
+
+	// missLatHist observes each read miss's accept-to-verified latency in
+	// nanoseconds (nil when no registry is attached; Observe is nil-safe).
+	missLatHist *obs.Histogram
 }
 
 // prefetch reacts to a demand miss: armed streams pull the next lines into
@@ -321,6 +332,7 @@ func (s *detailedSim) startRead(paddr uint64, out engine.Outcome) *txn {
 			tx.finalize(&s.cfg)
 			s.missLatSum += tx.complete - tx.t0
 			s.missCount++
+			s.missLatHist.Observe(uint64((tx.complete - tx.t0) / event.Nanosecond))
 		}
 	}
 	// Hold a setup token: enqueue backpressure can advance simulation and
@@ -548,6 +560,26 @@ func runDetailed(w workload.Workload, cfg DetailedConfig) (DetailedResult, *engi
 	s.mc = engine.New(engCfg)
 	s.hier = newHierarchy(cfg.L1, cfg.L2, cfg.LLC)
 	s.pf = newPrefetcher(cfg.PrefetchStreams, cfg.PrefetchDegree)
+	if cfg.Tracer != nil {
+		s.mc.SetTracer(cfg.Tracer)
+	}
+	if cfg.Metrics != nil {
+		s.mc.RegisterMetrics(cfg.Metrics)
+		registerHierarchyMetrics(cfg.Metrics, s.hier)
+		s.missLatHist = cfg.Metrics.Histogram("rmcc_sim_read_miss_latency_ns",
+			"MC-accept-to-data-verified latency of LLC read misses (Figure 14)",
+			obs.Pow2Buckets(4, 14))
+		cfg.Metrics.CounterFunc("rmcc_sim_dram_reads_total",
+			"DRAM channel read requests", func() uint64 { return s.ch.Stats().Reads })
+		cfg.Metrics.CounterFunc("rmcc_sim_dram_writes_total",
+			"DRAM channel write requests", func() uint64 { return s.ch.Stats().Writes })
+		cfg.Metrics.CounterFunc("rmcc_sim_dram_row_hits_total",
+			"row-buffer hits", func() uint64 { return s.ch.Stats().RowHits })
+		cfg.Metrics.CounterFunc("rmcc_sim_dram_row_misses_total",
+			"row-buffer misses (closed row)", func() uint64 { return s.ch.Stats().RowMisses })
+		cfg.Metrics.CounterFunc("rmcc_sim_dram_row_conflicts_total",
+			"row-buffer conflicts (different row open)", func() uint64 { return s.ch.Stats().RowConflicts })
+	}
 
 	// Build per-core streams: graph kernels shard, others run one core.
 	sharded, isSharded := w.(workload.Sharded)

@@ -13,6 +13,7 @@ import (
 	"rmcc/internal/mem/cache"
 	"rmcc/internal/mem/tlb"
 	"rmcc/internal/mem/vm"
+	"rmcc/internal/obs"
 	"rmcc/internal/secmem/engine"
 	"rmcc/internal/workload"
 )
@@ -35,6 +36,14 @@ type LifetimeConfig struct {
 	// MaxAccesses bounds the CPU-level access stream.
 	MaxAccesses uint64
 	Seed        uint64
+
+	// Metrics, when set, receives func-backed views of the engine, cache
+	// hierarchy, and TLB statistics before the access stream starts; exports
+	// cut from it mid-run or afterwards see live values. Tracer, when set,
+	// is attached to the MC for per-access event tracing. Both default to
+	// nil (no observation overhead).
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 
 	// OnController, when set, receives the constructed MC before the access
 	// stream starts — the attachment point for fault campaigns and extra
@@ -93,12 +102,24 @@ func RunLifetime(w workload.Workload, cfg LifetimeConfig) LifetimeResult {
 	engCfg := cfg.Engine
 	engCfg.MemBytes = physBytes
 	mc := engine.New(engCfg)
+	if cfg.Tracer != nil {
+		mc.SetTracer(cfg.Tracer)
+	}
 	if cfg.OnController != nil {
 		cfg.OnController(mc)
 	}
 
 	tlb4k := tlb.New(tlb.Config{Entries: cfg.TLBEntries, Ways: 12, PageBytes: 4 << 10})
 	tlb2m := tlb.New(tlb.Config{Entries: cfg.TLBEntries, Ways: 12, PageBytes: 2 << 20})
+	if cfg.Metrics != nil {
+		mc.RegisterMetrics(cfg.Metrics)
+		registerHierarchyMetrics(cfg.Metrics, h)
+		cfg.Metrics.CounterFunc("rmcc_sim_tlb_misses_total",
+			"TLB misses on the CPU access stream by page size",
+			func() uint64 { return tlb4k.Stats().Misses }, obs.L("page", "4k"))
+		cfg.Metrics.CounterFunc("rmcc_sim_tlb_misses_total", "",
+			func() uint64 { return tlb2m.Stats().Misses }, obs.L("page", "2m"))
+	}
 
 	res := LifetimeResult{Workload: w.Name()}
 	st := newStream(func(sink workload.Sink) { w.Run(cfg.Seed, sink) })

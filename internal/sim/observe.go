@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"rmcc/internal/mem/cache"
+	"rmcc/internal/obs"
+)
+
+// This file registers the simulation drivers' own structures — the data
+// cache hierarchy, the TLBs, and the DRAM channel — with an obs.Registry.
+// Like the engine's views, everything is func-backed: the hot loops keep
+// their plain counters and the registry reads them only at export time, so
+// attaching a registry does not perturb simulation results or speed.
+
+// registerCacheMetrics exports one cache's counters under rmcc_sim_cache_*
+// with a level label ("l1", "l2", "llc").
+func registerCacheMetrics(reg *obs.Registry, level string, stats func() cache.Stats) {
+	lbl := obs.L("level", level)
+	reg.CounterFunc("rmcc_sim_cache_hits_total",
+		"data-hierarchy cache hits", func() uint64 { return stats().Hits }, lbl)
+	reg.CounterFunc("rmcc_sim_cache_misses_total",
+		"data-hierarchy cache misses", func() uint64 { return stats().Misses }, lbl)
+	reg.CounterFunc("rmcc_sim_cache_evictions_total",
+		"data-hierarchy cache evictions", func() uint64 { return stats().Evictions }, lbl)
+	reg.CounterFunc("rmcc_sim_cache_writebacks_total",
+		"data-hierarchy dirty evictions", func() uint64 { return stats().Writebacks }, lbl)
+}
+
+// registerHierarchyMetrics exports all three data-cache levels.
+func registerHierarchyMetrics(reg *obs.Registry, h *hierarchy) {
+	registerCacheMetrics(reg, "l1", func() cache.Stats { return h.l1.Stats() })
+	registerCacheMetrics(reg, "l2", func() cache.Stats { return h.l2.Stats() })
+	registerCacheMetrics(reg, "llc", func() cache.Stats { return h.llc.Stats() })
+}

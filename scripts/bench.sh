@@ -1,30 +1,36 @@
 #!/usr/bin/env bash
 # Perf-regression harness: regenerate the quick experiment suite plus the
 # hot-path micro-benchmarks and archive the machine-readable report as
-# BENCH_<date>.json in the repo root. Compare against the checked-in
-# baseline from the previous PR to catch wall-clock or allocs/op
-# regressions before merging.
+# BENCH_<date>.json in the repo root, with a run manifest (config hash,
+# git SHA, seed, wall-clock, headline metrics) beside it. Compare against
+# the checked-in baseline from the previous PR with scripts/bench_diff.sh
+# to catch wall-clock or allocs/op regressions before merging.
 #
 # Usage:
 #   scripts/bench.sh                 # quick suite, all figures
 #   scripts/bench.sh -figures figure13,figure14
 #   PARALLEL=8 scripts/bench.sh      # pin the worker-pool size
+#   OUT=/tmp/fresh.json scripts/bench.sh   # write elsewhere (CI uses this
+#                                          # so a same-day run never
+#                                          # clobbers the baseline)
+#   MANIFEST=/tmp/fresh.manifest.json scripts/bench.sh
 #
 # Extra arguments are passed through to rmcc-experiments.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="BENCH_$(date +%Y-%m-%d).json"
+out="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+manifest="${MANIFEST:-${out%.json}.manifest.json}"
 parallel="${PARALLEL:-0}"
-args=(-quick -json -micro)
+args=(-quick -json -micro -manifest-out "$manifest")
 if [ "$parallel" != "0" ]; then
     args+=(-parallel "$parallel")
 fi
 
-echo "bench: writing $out (parallel=${parallel:-auto})" >&2
+echo "bench: writing $out (manifest $manifest, parallel=${parallel:-auto})" >&2
 go run ./cmd/rmcc-experiments "${args[@]}" "$@" > "$out"
 
 # Headline summary for the console / CI log.
 grep -E '"(name|ns_per_op|allocs_per_op|total_seconds)"' "$out" | sed 's/^ *//' >&2
-echo "bench: done -> $out" >&2
+echo "bench: done -> $out (manifest $manifest)" >&2

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI perf gate: regenerate a fresh quick perf report into a scratch file
+# (never clobbering the checked-in baseline, even on the same calendar
+# day) and diff it against the newest checked-in BENCH_<date>.json with
+# cmd/rmcc-benchdiff. Fails on a >25% wall-clock regression for any
+# figure present in both reports, or on a micro-benchmark that starts
+# allocating where the baseline was allocation-free.
+#
+# Usage:
+#   scripts/bench_diff.sh                        # baseline = newest BENCH_*.json
+#   BASELINE=BENCH_2026-08-06.json scripts/bench_diff.sh
+#   THRESHOLD=0.40 scripts/bench_diff.sh         # loosen the gate
+#   FRESH=/tmp/fresh.json scripts/bench_diff.sh  # keep the fresh report
+#
+# Extra arguments are passed through to scripts/bench.sh (and on to
+# rmcc-experiments), e.g. -figures figure13 for a faster smoke run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline="${BASELINE:-}"
+if [ -z "$baseline" ]; then
+    baseline="$(ls BENCH_*.json 2>/dev/null | grep -v manifest | sort | tail -n 1 || true)"
+fi
+if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+    echo "bench_diff: no checked-in BENCH_<date>.json baseline found" >&2
+    exit 2
+fi
+
+fresh="${FRESH:-$(mktemp /tmp/bench_fresh.XXXXXX.json)}"
+manifest="${fresh%.json}.manifest.json"
+threshold="${THRESHOLD:-0.25}"
+
+echo "bench_diff: baseline $baseline, fresh $fresh, threshold $threshold" >&2
+OUT="$fresh" MANIFEST="$manifest" scripts/bench.sh "$@"
+
+go run ./cmd/rmcc-benchdiff -baseline "$baseline" -current "$fresh" -threshold "$threshold"
