@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"rmcc/internal/buildinfo"
 )
 
 type report struct {
@@ -52,8 +54,13 @@ func main() {
 		baselinePath = flag.String("baseline", "", "baseline perf report (BENCH_<date>.json)")
 		currentPath  = flag.String("current", "", "fresh perf report to compare")
 		threshold    = flag.Float64("threshold", 0.25, "relative wall-clock slowdown that fails the diff")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rmcc-benchdiff"))
+		return
+	}
 	if *baselinePath == "" || *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "rmcc-benchdiff: -baseline and -current are required")
 		os.Exit(2)

@@ -14,19 +14,23 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
 	"rmcc"
+	"rmcc/internal/buildinfo"
 	"rmcc/internal/core"
 	"rmcc/internal/crypto/aes"
 	"rmcc/internal/crypto/otp"
@@ -53,8 +57,13 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write a per-access event trace (JSON Lines) from an instrumented reference run executed after the figures")
 		traceCap    = flag.Int("trace-cap", obs.DefaultTracerCap, "event-trace ring capacity (newest N events retained)")
 		manifestOut = flag.String("manifest-out", "", "write the run manifest (JSON) to this file")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rmcc-experiments"))
+		return
+	}
 
 	all := rmcc.Experiments()
 	if *listFlag {
@@ -111,6 +120,13 @@ func main() {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
 
+	// SIGINT/SIGTERM cancels the sweep: workers stop picking up cells, the
+	// current figure returns with its finished cells, and the run exits
+	// non-zero instead of simulating for hours after the user gave up.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opts.Context = ctx
+
 	want := map[string]bool{}
 	if *figures != "all" {
 		for _, f := range strings.Split(*figures, ",") {
@@ -157,9 +173,17 @@ func main() {
 		if *figures != "all" && !want[e.Name] {
 			continue
 		}
+		if ctx.Err() != nil {
+			break
+		}
 		figStart := time.Now()
 		table := e.Run(opts)
 		secs := time.Since(figStart).Seconds()
+		if ctx.Err() != nil {
+			// The sweep was cancelled mid-figure; its table holds zero
+			// values for unfinished cells — don't report it as a result.
+			break
+		}
 		figuresRun++
 		manifest.Headline["seconds_"+e.Name] = secs
 		if reg != nil {
@@ -174,6 +198,10 @@ func main() {
 			fmt.Println(table)
 			fmt.Printf("(%s regenerated in %.1fs)\n\n", e.Name, secs)
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "rmcc-experiments: interrupted; stopping sweep")
+		os.Exit(130)
 	}
 	if *micro {
 		report.Micro = microBenchmarks()

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"rmcc"
+	"rmcc/internal/buildinfo"
 )
 
 func main() {
@@ -32,8 +33,13 @@ func main() {
 		seed      = flag.Uint64("seed", 7, "campaign seed (schedule + targets)")
 		listKinds = flag.Bool("list-kinds", false, "list fault kinds and exit")
 		verbose   = flag.Bool("v", false, "print every fault outcome")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rmcc-faults"))
+		return
+	}
 
 	if *listKinds {
 		for _, k := range rmcc.AllFaultKinds() {

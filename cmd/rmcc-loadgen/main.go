@@ -1,0 +1,225 @@
+// Command rmcc-loadgen benchmarks an rmccd daemon: it creates N sessions,
+// replays a workload through every one concurrently, and reports
+// per-session and aggregate service throughput. With -check it also runs
+// the same simulation directly in-process and verifies the service
+// returned bit-identical engine stats — the no-behavioral-drift guarantee
+// of the service layer.
+//
+// Examples:
+//
+//	rmcc-loadgen -addr http://127.0.0.1:8077 -sessions 8 -workload canneal -accesses 50000
+//	rmcc-loadgen -addr http://$ADDR -sessions 8 -size test -check -metrics-out -
+//	rmcc-loadgen -ndjson -sessions 4        # exercise the streaming-upload path
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"time"
+
+	"flag"
+
+	"rmcc"
+	"rmcc/internal/buildinfo"
+	"rmcc/internal/server"
+	"rmcc/internal/server/client"
+	"rmcc/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "http://127.0.0.1:8077", "rmccd base URL (scheme optional)")
+		sessions   = flag.Int("sessions", 8, "concurrent sessions to drive")
+		name       = flag.String("workload", "canneal", "workload to replay")
+		sizeStr    = flag.String("size", "test", "workload scale: test|small|full")
+		modeStr    = flag.String("mode", "rmcc", "protection: nonsecure|baseline|rmcc")
+		schemeStr  = flag.String("scheme", "morphable", "counters: sgx|sc64|morphable")
+		accesses   = flag.Uint64("accesses", 50_000, "accesses to replay per session")
+		seed       = flag.Uint64("seed", 1, "simulation seed (all sessions share it)")
+		ndjson     = flag.Bool("ndjson", false, "stream the accesses as NDJSON instead of using the server-side generator")
+		check      = flag.Bool("check", false, "run the same simulation in-process and require bit-identical engine stats")
+		keep       = flag.Bool("keep", false, "leave the sessions on the daemon instead of deleting them")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "overall deadline")
+		metricsOut = flag.String("metrics-out", "", "scrape /metrics after the run to this file (- for stdout)")
+		version    = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rmcc-loadgen"))
+		return
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(base)
+	if err := c.Health(ctx); err != nil {
+		fatal(fmt.Errorf("daemon not healthy at %s: %w", base, err))
+	}
+
+	scfg := server.SessionConfig{
+		Mode:     *modeStr,
+		Scheme:   *schemeStr,
+		Seed:     *seed,
+		Workload: *name,
+		Size:     *sizeStr,
+	}
+
+	// For -ndjson the client generates the access stream locally (the
+	// same deterministic generator the server would run) and uploads it.
+	var stream []workload.Access
+	if *ndjson {
+		size, err := server.ParseSize(*sizeStr)
+		if err != nil {
+			fatal(err)
+		}
+		w, ok := rmcc.WorkloadByName(size, *seed, *name)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *name))
+		}
+		stream = make([]workload.Access, 0, *accesses)
+		w.Run(*seed, func(a workload.Access) bool {
+			stream = append(stream, a)
+			return uint64(len(stream)) < *accesses
+		})
+	}
+
+	type result struct {
+		idx   int
+		id    string
+		stats server.ReplayStats
+		secs  float64
+		err   error
+	}
+	results := make([]result, *sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := result{idx: i}
+			defer func() { results[i] = r }()
+			info, err := c.CreateSession(ctx, scfg)
+			if err != nil {
+				r.err = fmt.Errorf("create: %w", err)
+				return
+			}
+			r.id = info.ID
+			t0 := time.Now()
+			if *ndjson {
+				r.stats, r.err = c.ReplayAccesses(ctx, info.ID, stream)
+			} else {
+				r.stats, r.err = c.ReplayWorkload(ctx, info.ID, *accesses, 0, nil)
+			}
+			r.secs = time.Since(t0).Seconds()
+			if !*keep {
+				if derr := c.DeleteSession(ctx, info.ID); derr != nil && r.err == nil {
+					r.err = fmt.Errorf("delete: %w", derr)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	var total uint64
+	failed := 0
+	for _, r := range results {
+		if r.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "rmcc-loadgen: session %d: %v\n", r.idx, r.err)
+			continue
+		}
+		total += r.stats.Accesses
+		fmt.Printf("session %-10s %8d accesses  %6.2fs  ctr-miss %.1f%%  memo-hit %.1f%%\n",
+			r.id, r.stats.Accesses, r.secs,
+			100*r.stats.CtrMissRate, 100*r.stats.MemoHitRateOnMisses)
+	}
+	fmt.Printf("total: %d sessions, %d accesses in %.2fs (%.0f accesses/s aggregate)\n",
+		*sessions, total, wall, float64(total)/wall)
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d sessions failed", failed, *sessions))
+	}
+
+	if *check {
+		if err := checkEquivalence(results[0].stats, *name, *sizeStr, *modeStr, *schemeStr, *seed, *accesses); err != nil {
+			fatal(err)
+		}
+		for _, r := range results[1:] {
+			if !reflect.DeepEqual(r.stats.Engine, results[0].stats.Engine) {
+				fatal(fmt.Errorf("session %s engine stats diverge from session %s (same seed/workload)",
+					r.id, results[0].id))
+			}
+		}
+		fmt.Println("check: service stats bit-identical to the direct simulation ✓")
+	}
+
+	if *metricsOut != "" {
+		text, err := c.RawMetrics(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("scrape metrics: %w", err))
+		}
+		if *metricsOut == "-" {
+			fmt.Print(text)
+		} else if err := os.WriteFile(*metricsOut, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// checkEquivalence reruns the first session's simulation in-process
+// through the public sim driver and requires identical stats: the service
+// layer must add no behavioral drift.
+func checkEquivalence(got server.ReplayStats, name, sizeStr, modeStr, schemeStr string, seed, accesses uint64) error {
+	size, err := server.ParseSize(sizeStr)
+	if err != nil {
+		return err
+	}
+	mode, err := server.ParseMode(modeStr)
+	if err != nil {
+		return err
+	}
+	scheme, err := server.ParseScheme(schemeStr)
+	if err != nil {
+		return err
+	}
+	w, ok := rmcc.WorkloadByName(size, seed, name)
+	if !ok {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	engCfg := rmcc.DefaultEngineConfig(mode, scheme)
+	engCfg.InitSeed = seed
+	cfg := rmcc.DefaultLifetimeConfig(engCfg)
+	cfg.MaxAccesses = accesses
+	cfg.Seed = seed
+	res := rmcc.RunLifetime(w, cfg)
+
+	if res.Accesses != got.Accesses {
+		return fmt.Errorf("check: accesses differ: service %d, direct %d", got.Accesses, res.Accesses)
+	}
+	if res.LLCMissReads != got.LLCMissReads || res.LLCMissWrites != got.LLCMissWrites {
+		return fmt.Errorf("check: LLC miss counts differ: service %d/%d, direct %d/%d",
+			got.LLCMissReads, got.LLCMissWrites, res.LLCMissReads, res.LLCMissWrites)
+	}
+	if !reflect.DeepEqual(res.Engine, got.Engine) {
+		return fmt.Errorf("check: engine stats differ between service and direct run:\nservice: %+v\ndirect:  %+v",
+			got.Engine, res.Engine)
+	}
+	if res.MaxCounter != got.MaxCounter {
+		return fmt.Errorf("check: max counter differs: service %d, direct %d", got.MaxCounter, res.MaxCounter)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmcc-loadgen:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"rmcc"
+	"rmcc/internal/buildinfo"
 	"rmcc/internal/secmem/counter"
 	"rmcc/internal/secmem/engine"
 	"rmcc/internal/sim"
@@ -33,8 +34,13 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "record seed")
 		out     = flag.String("o", "trace.rmtr", "output file for -record")
 		modeStr = flag.String("mode", "rmcc", "replay protection: nonsecure|baseline|rmcc")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rmcc-trace"))
+		return
+	}
 
 	switch {
 	case *record:

@@ -1,0 +1,121 @@
+// Command rmccd serves the secure-memory simulator as a multi-tenant
+// daemon: clients create sessions (one warm engine each, sharded across
+// single-owner workers) and replay access streams against them over HTTP.
+// See docs/SERVICE.md for the API.
+//
+// Examples:
+//
+//	rmccd -addr 127.0.0.1:8077
+//	rmccd -addr 127.0.0.1:0 -port-file /tmp/rmccd.addr   # ephemeral port
+//	rmccd -shards 8 -idle-ttl 5m -drain 10s
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: /healthz flips to 503, new
+// work is refused, and in-flight replays drain until -drain expires, after
+// which they are force-cancelled. Exit status 0 means a clean drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rmcc/internal/buildinfo"
+	"rmcc/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8077", "listen address (host:0 picks an ephemeral port)")
+		portFile = flag.String("port-file", "", "write the resolved listen address to this file (for scripts wrapping host:0)")
+		shards   = flag.Int("shards", 0, "session shard workers (default GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "per-shard job queue depth (default 64)")
+		idleTTL  = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (<0 disables)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight replays")
+		chunk    = flag.Int("chunk", 0, "replay chunk size in accesses (default 4096)")
+		quiet    = flag.Bool("quiet", false, "suppress per-session log lines")
+		version  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rmccd"))
+		return 0
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	cfg := server.Config{
+		Shards:        *shards,
+		QueueDepth:    *queue,
+		IdleTTL:       *idleTTL,
+		ChunkAccesses: *chunk,
+		Logf:          logf,
+	}
+	if *quiet {
+		cfg.Logf = nil
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logf("rmccd: listen: %v", err)
+		return 2
+	}
+	resolved := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(resolved), 0o644); err != nil {
+			logf("rmccd: write port file: %v", err)
+			return 2
+		}
+	}
+
+	srv := server.New(cfg)
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Printf("rmccd: %s listening on http://%s\n", buildinfo.String("rmccd"), resolved)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	clean := true
+	select {
+	case sig := <-sigCh:
+		logf("rmccd: %v: draining (deadline %s)", sig, *drain)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logf("rmccd: drain deadline expired; force-cancelling replays")
+			srv.ForceCancel()
+			// Give cancelled handlers a moment to unwind, then close.
+			time.Sleep(200 * time.Millisecond)
+			_ = httpSrv.Close()
+			clean = false
+		}
+		cancel()
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logf("rmccd: serve: %v", err)
+			srv.Close()
+			return 2
+		}
+	}
+	srv.Close()
+	if clean {
+		logf("rmccd: shutdown complete")
+		return 0
+	}
+	logf("rmccd: shutdown forced after drain deadline")
+	return 1
+}

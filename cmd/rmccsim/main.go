@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"rmcc"
+	"rmcc/internal/buildinfo"
 	"rmcc/internal/obs"
 )
 
@@ -48,8 +49,13 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write the per-access event trace (JSON Lines) to this file (- for stdout)")
 		traceCap    = flag.Int("trace-cap", obs.DefaultTracerCap, "event-trace ring capacity (newest N events retained)")
 		manifestOut = flag.String("manifest-out", "", "write the run manifest (JSON) to this file")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rmccsim"))
+		return
+	}
 
 	if *list {
 		fmt.Println(strings.Join(rmcc.WorkloadNames(), "\n"))

@@ -1,0 +1,61 @@
+// Package buildinfo exposes the binary's module version and VCS revision
+// from the build-info block the Go linker embeds (runtime/debug), so every
+// cmd/ binary answers -version and run manifests record the source SHA
+// without shelling out to git.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// read is debug.ReadBuildInfo, swappable in tests.
+var read = debug.ReadBuildInfo
+
+// Version returns the main module's version: a tag for released builds,
+// "(devel)" for source builds, "unknown" when no build info is embedded
+// (e.g. some test binaries).
+func Version() string {
+	bi, ok := read()
+	if !ok || bi.Main.Version == "" {
+		return "unknown"
+	}
+	return bi.Main.Version
+}
+
+// GitSHA returns the VCS revision the binary was built from, with a
+// "+dirty" suffix when the working tree had local modifications, or
+// "unknown" when the build carries no VCS stamp (builds outside a
+// checkout, or with -buildvcs=false).
+func GitSHA() string {
+	bi, ok := read()
+	if !ok {
+		return "unknown"
+	}
+	sha, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			sha = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if sha == "" {
+		return "unknown"
+	}
+	if dirty {
+		return sha + "+dirty"
+	}
+	return sha
+}
+
+// String renders the one-line -version output for the named tool, e.g.
+// "rmccd (devel) abc1234".
+func String(tool string) string {
+	sha := GitSHA()
+	if len(sha) > 12 && sha != "unknown" {
+		sha = sha[:12]
+	}
+	return fmt.Sprintf("%s %s %s", tool, Version(), sha)
+}

@@ -1,0 +1,68 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+// fakeInfo installs a synthetic build-info block for the test's duration.
+func fakeInfo(t *testing.T, version string, settings map[string]string) {
+	t.Helper()
+	prev := read
+	t.Cleanup(func() { read = prev })
+	read = func() (*debug.BuildInfo, bool) {
+		bi := &debug.BuildInfo{}
+		bi.Main.Version = version
+		for k, v := range settings {
+			bi.Settings = append(bi.Settings, debug.BuildSetting{Key: k, Value: v})
+		}
+		return bi, true
+	}
+}
+
+func TestVersionAndSHA(t *testing.T) {
+	fakeInfo(t, "v1.2.3", map[string]string{
+		"vcs.revision": "0123456789abcdef0123456789abcdef01234567",
+		"vcs.modified": "false",
+	})
+	if got := Version(); got != "v1.2.3" {
+		t.Fatalf("Version = %q", got)
+	}
+	if got := GitSHA(); got != "0123456789abcdef0123456789abcdef01234567" {
+		t.Fatalf("GitSHA = %q", got)
+	}
+	if got := String("rmccd"); got != "rmccd v1.2.3 0123456789ab" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDirtySuffix(t *testing.T) {
+	fakeInfo(t, "(devel)", map[string]string{
+		"vcs.revision": "deadbeef",
+		"vcs.modified": "true",
+	})
+	if got := GitSHA(); got != "deadbeef+dirty" {
+		t.Fatalf("GitSHA = %q", got)
+	}
+}
+
+func TestNoBuildInfo(t *testing.T) {
+	prev := read
+	t.Cleanup(func() { read = prev })
+	read = func() (*debug.BuildInfo, bool) { return nil, false }
+	if Version() != "unknown" || GitSHA() != "unknown" {
+		t.Fatalf("missing build info must report unknown, got %q / %q", Version(), GitSHA())
+	}
+}
+
+func TestRealBuildInfoNeverPanics(t *testing.T) {
+	// Whatever the test binary carries, the accessors must return
+	// something non-empty.
+	if Version() == "" || GitSHA() == "" || String("x") == "" {
+		t.Fatal("empty build info fields")
+	}
+	if !strings.HasPrefix(String("tool"), "tool ") {
+		t.Fatalf("String = %q", String("tool"))
+	}
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -43,6 +44,12 @@ type Options struct {
 	// negative uses one worker per CPU. Results are collected by index, so
 	// every table is byte-identical whatever the setting.
 	Parallelism int
+
+	// Context, when set, cancels the sweep: workers stop picking up new
+	// cells once it is done, so a figure returns early with the remaining
+	// cells at their zero values. Cells already running finish (each is an
+	// uninterruptible single simulation). nil means never cancelled.
+	Context context.Context
 }
 
 // DefaultOptions is the full-scale configuration used for EXPERIMENTS.md:

@@ -19,6 +19,21 @@ func (o Options) workers() int {
 	}
 }
 
+// cancelled reports whether Options.Context is done. Checked before every
+// cell so a SIGINT stops the sweep at cell granularity instead of running
+// the remaining hours of simulation.
+func (o Options) cancelled() bool {
+	if o.Context == nil {
+		return false
+	}
+	select {
+	case <-o.Context.Done():
+		return true
+	default:
+		return false
+	}
+}
+
 // forEachIndex runs fn(i) for every i in [0, n), fanning the indices across
 // up to workers() goroutines via an atomic work counter. Callers write each
 // result into an index-addressed slot and assemble tables afterwards in
@@ -26,6 +41,9 @@ func (o Options) workers() int {
 // regardless of Parallelism. Every cell is an independent simulation over
 // its own workload and engine instances; the only shared state is the
 // detailed-run cache, which dedups concurrent builds per key.
+//
+// When Options.Context is cancelled, workers stop draining the cell queue;
+// unstarted cells are skipped and their result slots keep zero values.
 func (o Options) forEachIndex(n int, fn func(i int)) {
 	w := o.workers()
 	if w > n {
@@ -33,6 +51,9 @@ func (o Options) forEachIndex(n int, fn func(i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if o.cancelled() {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -44,6 +65,9 @@ func (o Options) forEachIndex(n int, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if o.cancelled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

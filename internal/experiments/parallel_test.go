@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"rmcc/internal/secmem/counter"
@@ -81,6 +83,52 @@ func TestDetailedRunDedupUnderRace(t *testing.T) {
 	for g := 1; g < 16; g++ {
 		if results[g] != results[0] {
 			t.Fatalf("goroutine %d saw IPC %v, goroutine 0 saw %v", g, results[g], results[0])
+		}
+	}
+}
+
+// TestCancellationStopsSweep cancels the sweep context after the first few
+// cells and requires the remaining queue to be abandoned: both the
+// sequential and the parallel paths must stop picking up cells once the
+// context is done.
+func TestCancellationStopsSweep(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		o := testOptions()
+		o.Parallelism = par
+		ctx, cancel := context.WithCancel(context.Background())
+		o.Context = ctx
+
+		const n = 1000
+		var ran atomic.Int64
+		o.forEachIndex(n, func(i int) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+		})
+		got := ran.Load()
+		// Each in-flight worker may finish the cell it already claimed, so
+		// the bound is cells-before-cancel plus one per worker — far below n.
+		limit := int64(3 + par)
+		if got > limit {
+			t.Errorf("parallelism %d: %d cells ran after cancel (limit %d)", par, got, limit)
+		}
+		cancel()
+	}
+}
+
+// TestCancelledBeforeStartRunsNothing: a sweep whose context is already
+// done must not run a single cell.
+func TestCancelledBeforeStartRunsNothing(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		o := testOptions()
+		o.Parallelism = par
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		o.Context = ctx
+		ran := 0
+		o.forEachIndex(50, func(i int) { ran++ })
+		if ran != 0 {
+			t.Errorf("parallelism %d: %d cells ran with a pre-cancelled context", par, ran)
 		}
 	}
 }

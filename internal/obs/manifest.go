@@ -6,9 +6,9 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
-	"os/exec"
 	"sort"
-	"strings"
+
+	"rmcc/internal/buildinfo"
 )
 
 // ManifestSchemaVersion identifies the manifest format; bump on breaking
@@ -23,8 +23,8 @@ const ManifestSchemaVersion = 1
 type Manifest struct {
 	SchemaVersion int    `json:"schema_version"`
 	Tool          string `json:"tool"`
-	// GitSHA is the source revision (GITHUB_SHA, or git rev-parse HEAD,
-	// or "unknown" outside a checkout).
+	// GitSHA is the source revision (GITHUB_SHA, or the binary's embedded
+	// VCS stamp, or "unknown" outside a checkout).
 	GitSHA string `json:"git_sha"`
 	// ConfigHash fingerprints the effective run configuration (flags and
 	// derived options), so two manifests are comparable iff it matches.
@@ -104,17 +104,14 @@ func HashConfig(v any) string {
 	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
 }
 
-// GitSHA resolves the source revision: $GITHUB_SHA if set (CI), else
-// git rev-parse HEAD, else "unknown".
+// GitSHA resolves the source revision: $GITHUB_SHA if set (CI), else the
+// VCS stamp the linker embedded in the binary, else "unknown". No
+// subprocess: manifests stay cheap to cut from long-running daemons.
 func GitSHA() string {
 	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
 		return sha
 	}
-	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
-	if err != nil {
-		return "unknown"
-	}
-	return strings.TrimSpace(string(out))
+	return buildinfo.GitSHA()
 }
 
 // HeadlineKeys returns the manifest's headline metric names sorted — the

@@ -1,0 +1,285 @@
+// Package server implements rmccd, the simulation-as-a-service daemon: a
+// dependency-free (net/http only) HTTP surface over the lifetime
+// simulator. Clients create sessions — each one a fully configured secure
+// memory controller plus cache hierarchy — and replay access streams
+// against them, either NDJSON uploads or the built-in workload
+// generators. Sessions are sharded across a fixed pool of single-owner
+// worker goroutines: engines are not thread-safe, so every touch of a
+// session's simulator state is serialized through its shard's bounded
+// queue (which doubles as backpressure on streaming uploads).
+//
+// See docs/SERVICE.md for the API reference.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+	"rmcc/internal/sim"
+	"rmcc/internal/workload"
+)
+
+// SessionConfig is the POST /v1/sessions request body. Either bind a
+// built-in workload generator (workload + size) or declare the virtual
+// footprint of the NDJSON streams you will upload (footprint_bytes) so
+// the engine's protected-memory size can be derived the same way the
+// direct drivers derive it.
+type SessionConfig struct {
+	// Mode is the protection level: nonsecure|baseline|rmcc (default rmcc).
+	Mode string `json:"mode,omitempty"`
+	// Scheme is the counter organization: sgx|sc64|morphable (default
+	// morphable).
+	Scheme string `json:"scheme,omitempty"`
+	// Seed drives counter initialization, page mapping, and the bound
+	// workload generator (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Workload optionally binds a built-in generator (see rmccsim -list);
+	// replays may then use the workload shortcut instead of uploading
+	// NDJSON. The session footprint is the workload's.
+	Workload string `json:"workload,omitempty"`
+	// Size scales the bound workload: test|small|full (default test).
+	Size string `json:"size,omitempty"`
+
+	// FootprintBytes declares the virtual footprint for NDJSON-only
+	// sessions (required when no workload is bound).
+	FootprintBytes uint64 `json:"footprint_bytes,omitempty"`
+
+	// Label names NDJSON-only sessions in stats and listings.
+	Label string `json:"label,omitempty"`
+
+	// Engine, when set, overrides the entire controller configuration
+	// (JSON keys are the engine.Config Go field names). MemBytes is still
+	// derived from the session footprint. When unset, the paper's Table-I
+	// defaults for mode/scheme apply with InitSeed = Seed.
+	Engine *engine.Config `json:"engine,omitempty"`
+}
+
+// DecodeSessionConfig parses a strict session-config document: unknown
+// fields and trailing garbage are errors, never panics. The caller caps
+// the input size.
+func DecodeSessionConfig(data []byte) (SessionConfig, error) {
+	var sc SessionConfig
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return SessionConfig{}, fmt.Errorf("session config: %w", err)
+	}
+	if dec.More() {
+		return SessionConfig{}, fmt.Errorf("session config: trailing data after document")
+	}
+	return sc, nil
+}
+
+// resolved is a SessionConfig elaborated into runnable pieces.
+type resolved struct {
+	name      string // stream name (workload or label)
+	footprint uint64
+	seed      uint64
+	mode      engine.Mode
+	scheme    counter.Scheme
+	w         workload.Workload // nil for NDJSON-only sessions
+	ltCfg     sim.LifetimeConfig
+}
+
+// resolve elaborates the config: parse enums, bind the workload, and
+// assemble the same lifetime configuration a direct run would use, so the
+// service layer adds no behavioral drift.
+func (sc SessionConfig) resolve() (resolved, error) {
+	r := resolved{seed: sc.Seed}
+	if r.seed == 0 {
+		r.seed = 1
+	}
+	var err error
+	if r.mode, err = ParseMode(defaultStr(sc.Mode, "rmcc")); err != nil {
+		return r, err
+	}
+	if r.scheme, err = ParseScheme(defaultStr(sc.Scheme, "morphable")); err != nil {
+		return r, err
+	}
+	size, err := ParseSize(defaultStr(sc.Size, "test"))
+	if err != nil {
+		return r, err
+	}
+	if sc.Workload != "" {
+		w, ok := workload.ByName(size, r.seed, sc.Workload)
+		if !ok {
+			return r, fmt.Errorf("unknown workload %q", sc.Workload)
+		}
+		r.w = w
+		r.name = w.Name()
+		r.footprint = w.FootprintBytes()
+	} else {
+		if sc.FootprintBytes == 0 {
+			return r, fmt.Errorf("either workload or footprint_bytes is required")
+		}
+		r.name = defaultStr(sc.Label, "ndjson")
+		r.footprint = sc.FootprintBytes
+	}
+	var engCfg engine.Config
+	if sc.Engine != nil {
+		engCfg = *sc.Engine
+	} else {
+		engCfg = engine.DefaultConfig(r.mode, r.scheme, 0)
+		engCfg.InitSeed = r.seed
+	}
+	r.ltCfg = sim.DefaultLifetimeConfig(engCfg)
+	if sc.Engine != nil {
+		// DefaultLifetimeConfig pins the Pintool per-thread counter cache;
+		// an explicit Engine override owns the whole controller config.
+		r.ltCfg.Engine = engCfg
+	}
+	r.ltCfg.Seed = r.seed
+	return r, nil
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// ParseMode maps the wire mode names to engine modes.
+func ParseMode(s string) (engine.Mode, error) {
+	switch s {
+	case "nonsecure":
+		return engine.NonSecure, nil
+	case "baseline":
+		return engine.Baseline, nil
+	case "rmcc":
+		return engine.RMCC, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+// ParseScheme maps the wire scheme names to counter schemes.
+func ParseScheme(s string) (counter.Scheme, error) {
+	switch s {
+	case "sgx":
+		return counter.SGX, nil
+	case "sc64":
+		return counter.SC64, nil
+	case "morphable":
+		return counter.Morphable, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+// ParseSize maps the wire size names to workload scales.
+func ParseSize(s string) (workload.Size, error) {
+	switch s {
+	case "test":
+		return workload.SizeTest, nil
+	case "small":
+		return workload.SizeSmall, nil
+	case "full":
+		return workload.SizeFull, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+// AccessRecord is one NDJSON replay line: a single read or write the
+// simulated CPU issues, mirroring workload.Access.
+type AccessRecord struct {
+	Addr uint64 `json:"addr"`
+	// Write marks stores; omitted/false = load.
+	Write bool `json:"write,omitempty"`
+	// Gap is the count of non-memory instructions since the previous
+	// access (0-255).
+	Gap uint8 `json:"gap,omitempty"`
+}
+
+// DecodeAccess parses one NDJSON line strictly: unknown fields, trailing
+// data, out-of-range numbers are errors, never panics. Malformed input
+// must surface as a 4xx to the client, not reach a shard worker.
+func DecodeAccess(line []byte) (workload.Access, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var rec AccessRecord
+	if err := dec.Decode(&rec); err != nil {
+		return workload.Access{}, fmt.Errorf("access record: %w", err)
+	}
+	if dec.More() {
+		return workload.Access{}, fmt.Errorf("access record: trailing data after object")
+	}
+	return workload.Access{Addr: rec.Addr, Write: rec.Write, Gap: rec.Gap}, nil
+}
+
+// SessionInfo describes one live session (create response, listings).
+type SessionInfo struct {
+	ID             string `json:"id"`
+	Shard          int    `json:"shard"`
+	Name           string `json:"name"`
+	Workload       string `json:"workload,omitempty"`
+	Mode           string `json:"mode"`
+	Scheme         string `json:"scheme"`
+	Seed           uint64 `json:"seed"`
+	FootprintBytes uint64 `json:"footprint_bytes"`
+	Created        string `json:"created"` // RFC 3339 UTC
+	Accesses       uint64 `json:"accesses"`
+	Replaying      bool   `json:"replaying"`
+	ConfigHash     string `json:"config_hash"`
+}
+
+// ReplayStats is the rolled-up result of a replay (and the stats half of
+// a snapshot): the session's cumulative lifetime-driver view.
+type ReplayStats struct {
+	SessionID     string `json:"session_id"`
+	Name          string `json:"name"`
+	Seed          uint64 `json:"seed"`
+	Accesses      uint64 `json:"accesses"`
+	LLCMissReads  uint64 `json:"llc_miss_reads"`
+	LLCMissWrites uint64 `json:"llc_miss_writes"`
+	MaxCounter    uint64 `json:"max_counter"`
+
+	CtrMissRate         float64 `json:"ctr_miss_rate"`
+	MemoHitRateOnMisses float64 `json:"memo_hit_rate_on_misses"`
+	MemoHitRateAll      float64 `json:"memo_hit_rate_all"`
+	AcceleratedRate     float64 `json:"accelerated_rate"`
+	TotalTrafficBlocks  uint64  `json:"total_traffic_blocks"`
+
+	// Engine is the full controller counter block (JSON keys are the
+	// engine.Stats Go field names) for exact cross-checking against
+	// direct runs.
+	Engine engine.Stats `json:"engine"`
+
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// statsFromResult rolls a lifetime result into the wire form.
+func statsFromResult(id string, seed uint64, res sim.LifetimeResult) ReplayStats {
+	return ReplayStats{
+		SessionID:           id,
+		Name:                res.Workload,
+		Seed:                seed,
+		Accesses:            res.Accesses,
+		LLCMissReads:        res.LLCMissReads,
+		LLCMissWrites:       res.LLCMissWrites,
+		MaxCounter:          res.MaxCounter,
+		CtrMissRate:         res.Engine.CtrMissRate(),
+		MemoHitRateOnMisses: res.Engine.MemoHitRateOnMisses(),
+		MemoHitRateAll:      res.Engine.MemoHitRateAll(),
+		AcceleratedRate:     res.Engine.AcceleratedRate(),
+		TotalTrafficBlocks:  res.Engine.TotalTraffic(),
+		Engine:              res.Engine,
+	}
+}
+
+// ReplayFrame is one NDJSON response frame of a progress-streaming
+// replay: progress frames while the stream applies, then exactly one
+// result or error frame.
+type ReplayFrame struct {
+	Type     string       `json:"type"` // progress | result | error
+	Accesses uint64       `json:"accesses,omitempty"`
+	Stats    *ReplayStats `json:"stats,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
+// ErrorBody is the JSON error envelope for non-2xx responses.
+type ErrorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,259 @@
+// Package client is a thin Go client for the rmccd daemon (see
+// internal/server and docs/SERVICE.md). It is what cmd/rmcc-loadgen
+// drives and what tests use to exercise the service end to end.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rmcc/internal/server"
+	"rmcc/internal/workload"
+)
+
+// Client talks to one rmccd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for base, e.g. "http://127.0.0.1:8077". Replays
+// have no client-side timeout — they stream for as long as the simulation
+// runs; cancel through the context instead.
+func New(base string) *Client {
+	return &Client{base: base, hc: &http.Client{}}
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status int
+	Msg    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rmccd: HTTP %d: %s", e.Status, e.Msg)
+}
+
+// do issues a request and decodes a JSON response into out (unless nil).
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	var eb server.ErrorBody
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(body, &eb) != nil || eb.Error == "" {
+		eb.Error = string(bytes.TrimSpace(body))
+	}
+	return &APIError{Status: resp.StatusCode, Msg: eb.Error}
+}
+
+// CreateSession creates a configured session.
+func (c *Client) CreateSession(ctx context.Context, cfg server.SessionConfig) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	body, err := json.Marshal(cfg)
+	if err != nil {
+		return info, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return info, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return info, c.do(req, &info)
+}
+
+// ListSessions lists live sessions.
+func (c *Client) ListSessions(ctx context.Context) ([]server.SessionInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/sessions", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []server.SessionInfo
+	return out, c.do(req, &out)
+}
+
+// DeleteSession evicts a session.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+// Snapshot returns the session's cumulative stats and manifest.
+func (c *Client) Snapshot(ctx context.Context, id string) (server.SnapshotResponse, error) {
+	var out server.SnapshotResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/sessions/"+id+"/snapshot", nil)
+	if err != nil {
+		return out, err
+	}
+	return out, c.do(req, &out)
+}
+
+// ReplayWorkload runs the session's bound generator for n accesses
+// server-side and returns the rolled-up stats. onProgress, when non-nil,
+// receives applied-access counts as the daemon streams progress frames
+// (progressEvery accesses apart).
+func (c *Client) ReplayWorkload(ctx context.Context, id string, n uint64,
+	progressEvery uint64, onProgress func(accesses uint64)) (server.ReplayStats, error) {
+	url := fmt.Sprintf("%s/v1/sessions/%s/replay?workload=&accesses=%d", c.base, id, n)
+	if progressEvery > 0 {
+		url += "&progress=" + strconv.FormatUint(progressEvery, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
+	if err != nil {
+		return server.ReplayStats{}, err
+	}
+	return c.replay(req, progressEvery > 0, onProgress)
+}
+
+// ReplayAccesses streams accesses as NDJSON and returns the rolled-up
+// stats.
+func (c *Client) ReplayAccesses(ctx context.Context, id string, accs []workload.Access) (server.ReplayStats, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		bw := bufio.NewWriterSize(pw, 64<<10)
+		var err error
+		for _, a := range accs {
+			rec := server.AccessRecord{Addr: a.Addr, Write: a.Write, Gap: a.Gap}
+			var b []byte
+			if b, err = json.Marshal(rec); err != nil {
+				break
+			}
+			if _, err = bw.Write(append(b, '\n')); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		pw.CloseWithError(err)
+	}()
+	return c.ReplayNDJSON(ctx, id, pr)
+}
+
+// ReplayNDJSON streams a raw NDJSON body (one AccessRecord per line).
+func (c *Client) ReplayNDJSON(ctx context.Context, id string, body io.Reader) (server.ReplayStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/sessions/"+id+"/replay", body)
+	if err != nil {
+		return server.ReplayStats{}, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	return c.replay(req, false, nil)
+}
+
+// replay runs a replay request, consuming either the single JSON document
+// or the NDJSON frame stream.
+func (c *Client) replay(req *http.Request, streaming bool, onProgress func(uint64)) (server.ReplayStats, error) {
+	var stats server.ReplayStats
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return stats, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return stats, decodeError(resp)
+	}
+	if !streaming {
+		return stats, json.NewDecoder(resp.Body).Decode(&stats)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	sawResult := false
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var f server.ReplayFrame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return stats, fmt.Errorf("rmccd: bad frame: %w", err)
+		}
+		switch f.Type {
+		case "progress":
+			if onProgress != nil {
+				onProgress(f.Accesses)
+			}
+		case "result":
+			if f.Stats != nil {
+				stats = *f.Stats
+			}
+			sawResult = true
+		case "error":
+			return stats, &APIError{Status: resp.StatusCode, Msg: f.Error}
+		default:
+			return stats, fmt.Errorf("rmccd: unknown frame type %q", f.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return stats, err
+	}
+	if !sawResult {
+		return stats, fmt.Errorf("rmccd: stream ended without a result frame")
+	}
+	return stats, nil
+}
+
+// Health checks /healthz; nil means serving (not draining).
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+// WaitHealthy polls /healthz until it succeeds or ctx expires.
+func (c *Client) WaitHealthy(ctx context.Context) error {
+	for {
+		if err := c.Health(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("rmccd: never became healthy: %w", ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// RawMetrics scrapes /metrics (Prometheus text).
+func (c *Client) RawMetrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

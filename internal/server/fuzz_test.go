@@ -1,0 +1,67 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzDecodeSessionConfig: arbitrary bytes must either decode cleanly or
+// return an error — never panic. A panic here would take down the create
+// handler; a shard worker is never involved because decoding happens
+// before any simulator state is built.
+func FuzzDecodeSessionConfig(f *testing.F) {
+	f.Add([]byte(`{"mode":"rmcc","scheme":"morphable","workload":"canneal","size":"test","seed":1}`))
+	f.Add([]byte(`{"footprint_bytes":1048576,"label":"trace"}`))
+	f.Add([]byte(`{"engine":{"Mode":2,"Scheme":2,"CounterCacheBytes":131072}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"mode":"rmcc"} trailing`))
+	f.Add([]byte(`{"unknown_field":true}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"seed":-1}`))
+	f.Add([]byte(`{"seed":1e400}`))
+	f.Add([]byte("{\"mode\":\"\x00\"}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := DecodeSessionConfig(data)
+		if err != nil {
+			return
+		}
+		// A decodable config must also resolve without panicking (resolve
+		// can still reject it with an error — that is a 400, not a crash).
+		if _, rerr := sc.resolve(); rerr != nil {
+			return
+		}
+	})
+}
+
+// FuzzDecodeAccess: arbitrary NDJSON lines must decode or error, never
+// panic — malformed replay input has to surface as a 4xx without reaching
+// a shard worker.
+func FuzzDecodeAccess(f *testing.F) {
+	f.Add([]byte(`{"addr":4096}`))
+	f.Add([]byte(`{"addr":18446744073709551615,"write":true,"gap":255}`))
+	f.Add([]byte(`{"addr":0,"write":false,"gap":0}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"addr":-1}`))
+	f.Add([]byte(`{"addr":1,"gap":256}`))
+	f.Add([]byte(`{"addr":1} {"addr":2}`))
+	f.Add([]byte(`{"addr":1,"bogus":true}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`"just a string"`))
+	f.Add([]byte(strings.Repeat("9", 400)))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		a, err := DecodeAccess(line)
+		if err != nil {
+			return
+		}
+		// Decoded records must round-trip into the simulator's access type
+		// without information loss (Gap is uint8 by construction).
+		_ = a
+		if !utf8.Valid(line) {
+			// encoding/json accepts some invalid UTF-8 by replacement;
+			// that's fine as long as it didn't panic.
+			return
+		}
+	})
+}

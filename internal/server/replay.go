@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rmcc/internal/sim"
+	"rmcc/internal/workload"
+)
+
+// handleReplay applies an access stream to a session and returns rolled-up
+// stats. Two sources:
+//
+//   - ?workload=&accesses=N — run the session's bound generator for N
+//     accesses server-side (the daemon analog of rmccsim -accesses).
+//   - NDJSON request body — one AccessRecord per line, applied in arrival
+//     order with chunk-granular backpressure.
+//
+// ?progress=N streams NDJSON progress frames every N applied accesses and
+// finishes with a result (or error) frame; without it the response is one
+// JSON ReplayStats document. Cancellation is chunk-granular: a dropped
+// client connection or the shutdown drain deadline aborts mid-stream.
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	q := r.URL.Query()
+	useWorkload := q.Has("workload") || q.Has("accesses")
+	var accesses uint64
+	if useWorkload {
+		var err error
+		accesses, err = parseUint(q.Get("accesses"))
+		if err != nil || accesses == 0 {
+			writeError(w, http.StatusBadRequest, "accesses must be a positive integer")
+			return
+		}
+		if accesses > s.cfg.MaxReplayAccesses {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("accesses %d exceeds the per-replay cap %d", accesses, s.cfg.MaxReplayAccesses))
+			return
+		}
+		if sess.w == nil {
+			writeError(w, http.StatusBadRequest,
+				"session has no bound workload; create it with \"workload\" or stream NDJSON")
+			return
+		}
+		if name := q.Get("workload"); name != "" && name != sess.w.Name() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("session is bound to workload %q, not %q", sess.w.Name(), name))
+			return
+		}
+	}
+	var progressEvery uint64
+	if p := q.Get("progress"); p != "" {
+		var err error
+		if progressEvery, err = parseUint(p); err != nil {
+			writeError(w, http.StatusBadRequest, "progress must be a non-negative integer")
+			return
+		}
+	}
+
+	ok, gone := sess.acquire()
+	if !ok {
+		code, msg := http.StatusConflict, "replay already in flight on this session"
+		if gone {
+			code, msg = http.StatusNotFound, "session evicted"
+		}
+		writeError(w, code, msg)
+		return
+	}
+	defer sess.release()
+
+	// Join the request context with the server-wide force-cancel so the
+	// drain deadline aborts long replays.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.forceCtx, cancel)
+	defer stop()
+
+	rw := &replayWriter{w: w, every: progressEvery}
+	start := time.Now()
+	var applied uint64
+	var err error
+	if useWorkload {
+		applied, err = s.replayWorkload(ctx, sess, accesses, rw)
+	} else {
+		applied, err = s.replayNDJSON(ctx, sess, r, rw)
+	}
+	s.mReplayAccesses.Add(applied)
+	s.mReplaySizes.Observe(applied)
+	sess.touch(s.cfg.Now())
+
+	if err != nil {
+		var badInput *inputError
+		switch {
+		case errors.As(err, &badInput):
+			s.mReplaysErr.Inc()
+			rw.fail(http.StatusBadRequest, err.Error())
+		case ctx.Err() != nil:
+			s.mReplaysCancel.Inc()
+			reason := "replay cancelled"
+			if s.forceCtx.Err() != nil {
+				reason = "replay aborted: drain deadline expired"
+			}
+			rw.fail(http.StatusServiceUnavailable, reason)
+		default:
+			s.mReplaysErr.Inc()
+			rw.fail(http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+
+	var res sim.LifetimeResult
+	if perr := s.pool.do(ctx, sess.shard, func() { res = sess.lt.Result() }); perr != nil {
+		s.mReplaysCancel.Inc()
+		rw.fail(http.StatusServiceUnavailable, "replay cancelled before stats rollup")
+		return
+	}
+	s.mReplaysOK.Inc()
+	stats := statsFromResult(sess.id, sess.seed, res)
+	stats.WallSeconds = time.Since(start).Seconds()
+	rw.result(stats)
+	s.cfg.Logf("rmccd: session %s replayed %d accesses in %.2fs", sess.id, applied, stats.WallSeconds)
+}
+
+// replayWorkload steps the bound generator for n accesses in shard-owned
+// chunks.
+func (s *Server) replayWorkload(ctx context.Context, sess *session, n uint64, rw *replayWriter) (uint64, error) {
+	var applied uint64
+	for applied < n {
+		if err := ctx.Err(); err != nil {
+			return applied, err
+		}
+		want := uint64(s.cfg.ChunkAccesses)
+		if rem := n - applied; rem < want {
+			want = rem
+		}
+		var got, total uint64
+		var exhausted bool
+		err := s.pool.do(ctx, sess.shard, func() {
+			if sess.stream == nil {
+				w, seed := sess.w, sess.seed
+				sess.stream = sim.NewAccessStream(func(sink workload.Sink) { w.Run(seed, sink) })
+			}
+			for got < want {
+				if got%512 == 511 && ctx.Err() != nil {
+					break
+				}
+				a, ok := sess.stream.Next()
+				if !ok {
+					exhausted = true
+					break
+				}
+				sess.lt.Step(a)
+				got++
+			}
+			total = sess.lt.Accesses()
+		})
+		if err != nil {
+			return applied, err
+		}
+		applied += got
+		sess.accessesDone.Store(total)
+		sess.touch(s.cfg.Now())
+		if err := rw.progress(applied); err != nil {
+			return applied, err
+		}
+		if exhausted {
+			break
+		}
+	}
+	return applied, nil
+}
+
+// replayNDJSON decodes the request body line-by-line and applies it in
+// chunks. Decoding happens on the handler goroutine; only the validated
+// batch crosses into the shard, so malformed input can never panic a
+// worker. Because each chunk is applied before more input is read, a slow
+// simulation backpressures the upload through the unread TCP window.
+func (s *Server) replayNDJSON(ctx context.Context, sess *session, r *http.Request, rw *replayWriter) (uint64, error) {
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), s.cfg.MaxLineBytes)
+	batch := make([]workload.Access, 0, s.cfg.ChunkAccesses)
+	var applied uint64
+	line := 0
+
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		var total uint64
+		err := s.pool.do(ctx, sess.shard, func() {
+			for i, a := range batch {
+				if i%512 == 511 && ctx.Err() != nil {
+					batch = batch[:i]
+					break
+				}
+				sess.lt.Step(a)
+			}
+			total = sess.lt.Accesses()
+		})
+		if err != nil {
+			return err
+		}
+		applied += uint64(len(batch))
+		batch = batch[:0]
+		sess.accessesDone.Store(total)
+		sess.touch(s.cfg.Now())
+		return rw.progress(applied)
+	}
+
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		a, err := DecodeAccess(raw)
+		if err != nil {
+			return applied, &inputError{fmt.Errorf("line %d: %w", line, err)}
+		}
+		batch = append(batch, a)
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return applied, err
+			}
+			if err := ctx.Err(); err != nil {
+				return applied, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return applied, &inputError{fmt.Errorf("line %d: exceeds %d-byte line cap", line+1, s.cfg.MaxLineBytes)}
+		}
+		// Body read errors are client disconnects in practice.
+		return applied, err
+	}
+	return applied, flush()
+}
+
+// inputError marks client-side (4xx) replay failures.
+type inputError struct{ err error }
+
+func (e *inputError) Error() string { return e.err.Error() }
+func (e *inputError) Unwrap() error { return e.err }
+
+// replayWriter renders the replay response: buffered single-document JSON
+// by default, or an NDJSON frame stream when progress is requested (the
+// status line is committed at the first frame, so later failures become
+// error frames instead).
+type replayWriter struct {
+	w         http.ResponseWriter
+	every     uint64
+	streaming bool
+	nextAt    uint64
+}
+
+func (rw *replayWriter) startStream() {
+	if rw.streaming {
+		return
+	}
+	rw.streaming = true
+	rw.w.Header().Set("Content-Type", "application/x-ndjson")
+	rw.w.WriteHeader(http.StatusOK)
+}
+
+func (rw *replayWriter) writeFrame(f ReplayFrame) error {
+	rw.startStream()
+	if err := writeNDJSONLine(rw.w, f); err != nil {
+		return err
+	}
+	if fl, ok := rw.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return nil
+}
+
+// progress emits a frame when the applied count crosses the next
+// threshold; a no-op without ?progress.
+func (rw *replayWriter) progress(applied uint64) error {
+	if rw.every == 0 {
+		return nil
+	}
+	if rw.nextAt == 0 {
+		rw.nextAt = rw.every
+	}
+	if applied < rw.nextAt {
+		return nil
+	}
+	rw.nextAt = applied + rw.every
+	return rw.writeFrame(ReplayFrame{Type: "progress", Accesses: applied})
+}
+
+func (rw *replayWriter) result(stats ReplayStats) {
+	if rw.every == 0 {
+		writeJSON(rw.w, http.StatusOK, stats)
+		return
+	}
+	_ = rw.writeFrame(ReplayFrame{Type: "result", Accesses: stats.Accesses, Stats: &stats})
+}
+
+func (rw *replayWriter) fail(code int, msg string) {
+	if !rw.streaming {
+		writeError(rw.w, code, msg)
+		return
+	}
+	_ = rw.writeFrame(ReplayFrame{Type: "error", Error: msg})
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// writeNDJSONLine marshals v and appends a newline.
+func writeNDJSONLine(w http.ResponseWriter, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

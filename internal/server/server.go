@@ -1,0 +1,462 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmcc/internal/buildinfo"
+	"rmcc/internal/obs"
+	"rmcc/internal/secmem/engine"
+	"rmcc/internal/sim"
+)
+
+// Config parameterizes the daemon. The zero value is usable: every field
+// has a production default.
+type Config struct {
+	// Shards is the worker-goroutine pool size (default GOMAXPROCS).
+	Shards int
+	// QueueDepth bounds each shard's job queue; a full queue blocks
+	// submitters, backpressuring streaming clients (default 64).
+	QueueDepth int
+	// IdleTTL evicts sessions untouched for this long (default 10m;
+	// negative disables eviction).
+	IdleTTL time.Duration
+	// MaxSessions caps live sessions; creates beyond it get 429
+	// (default 1024).
+	MaxSessions int
+	// ChunkAccesses is the replay batch applied per shard job — the
+	// granularity of backpressure, progress, and cancellation
+	// (default 4096).
+	ChunkAccesses int
+	// MaxBodyBytes caps the session-config document (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxLineBytes caps one NDJSON access line (default 4096).
+	MaxLineBytes int
+	// MaxReplayAccesses caps the workload-shortcut accesses parameter
+	// (default 1e9).
+	MaxReplayAccesses uint64
+
+	// Now is the clock, injectable for TTL tests (default time.Now).
+	Now func() time.Time
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = 10 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.ChunkAccesses <= 0 {
+		c.ChunkAccesses = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 4096
+	}
+	if c.MaxReplayAccesses == 0 {
+		c.MaxReplayAccesses = 1_000_000_000
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the rmccd HTTP service. Create with New, serve via
+// ServeHTTP/Handler, stop with BeginDrain + Close (see cmd/rmccd for the
+// full graceful-shutdown sequence).
+type Server struct {
+	cfg  Config
+	pool *shardPool
+	mux  *http.ServeMux
+	reg  *obs.Registry
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   atomic.Uint64
+
+	draining atomic.Bool
+	// forceCtx cancels every in-flight replay when the drain deadline
+	// expires.
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
+	// metrics (owned instruments; exported at /metrics).
+	mSessionsCreated *obs.Counter
+	mEvictedTTL      *obs.Counter
+	mEvictedAPI      *obs.Counter
+	mReplaysOK       *obs.Counter
+	mReplaysErr      *obs.Counter
+	mReplaysCancel   *obs.Counter
+	mReplayAccesses  *obs.Counter
+	mReplaySizes     *obs.Histogram
+}
+
+// New builds a server and starts its shard pool and TTL janitor.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		pool:        newShardPool(cfg.Shards, cfg.QueueDepth),
+		sessions:    make(map[string]*session),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	s.initMetrics()
+	s.initRoutes()
+	go s.janitor()
+	return s
+}
+
+func (s *Server) initMetrics() {
+	s.reg = obs.NewRegistry()
+	s.mSessionsCreated = s.reg.Counter("rmccd_sessions_created_total",
+		"sessions created over the daemon lifetime")
+	s.mEvictedTTL = s.reg.Counter("rmccd_sessions_evicted_total",
+		"sessions evicted, by reason", obs.L("reason", "ttl"))
+	s.mEvictedAPI = s.reg.Counter("rmccd_sessions_evicted_total", "",
+		obs.L("reason", "api"))
+	s.mReplaysOK = s.reg.Counter("rmccd_replays_total",
+		"replay requests, by outcome", obs.L("status", "ok"))
+	s.mReplaysErr = s.reg.Counter("rmccd_replays_total", "", obs.L("status", "error"))
+	s.mReplaysCancel = s.reg.Counter("rmccd_replays_total", "", obs.L("status", "cancelled"))
+	s.mReplayAccesses = s.reg.Counter("rmccd_replay_accesses_total",
+		"accesses applied across all replays")
+	s.mReplaySizes = s.reg.Histogram("rmccd_replay_size_accesses",
+		"accesses applied per replay request",
+		[]uint64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000})
+	s.reg.GaugeFunc("rmccd_sessions_active", "live sessions",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.sessions))
+		})
+	for i := 0; i < s.cfg.Shards; i++ {
+		shard := i
+		s.reg.GaugeFunc("rmccd_shard_queue_depth",
+			"pending jobs per shard queue",
+			func() float64 { return float64(s.pool.queueLen(shard)) },
+			obs.L("shard", strconv.Itoa(shard)))
+	}
+	s.reg.GaugeFunc("rmccd_build_info",
+		"constant 1, labeled with the daemon build version and revision",
+		func() float64 { return 1 },
+		obs.L("revision", buildinfo.GitSHA()), obs.L("version", buildinfo.Version()))
+}
+
+func (s *Server) initRoutes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/replay", s.handleReplay)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Handler returns the routed handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the daemon's registry (tests, embedding).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// BeginDrain marks the server draining: health checks flip to 503 and new
+// sessions/replays are refused while in-flight replays keep running.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// ForceCancel aborts every in-flight replay (drain deadline expired).
+func (s *Server) ForceCancel() { s.forceCancel() }
+
+// Close stops the janitor and the shard pool. Call only after the HTTP
+// listener has stopped delivering requests (http.Server.Shutdown/Close):
+// shard submission after Close panics by design.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	close(s.janitorStop)
+	<-s.janitorDone
+	s.forceCancel()
+	s.pool.close()
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		if sess.stream != nil {
+			sess.stream.Close()
+		}
+		delete(s.sessions, sess.id)
+	}
+	s.mu.Unlock()
+}
+
+// janitor periodically sweeps idle sessions.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	if s.cfg.IdleTTL < 0 {
+		<-s.janitorStop
+		return
+	}
+	period := s.cfg.IdleTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Sweep(s.cfg.Now())
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+// Sweep evicts every session idle longer than IdleTTL as of now,
+// returning how many went. Exported so tests drive TTL directly with an
+// injected clock.
+func (s *Server) Sweep(now time.Time) int {
+	if s.cfg.IdleTTL < 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.cfg.IdleTTL).UnixNano()
+	s.mu.Lock()
+	var idle []*session
+	for _, sess := range s.sessions {
+		if sess.lastUsed.Load() <= cutoff {
+			idle = append(idle, sess)
+		}
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, sess := range idle {
+		if s.evict(sess, s.mEvictedTTL) {
+			n++
+		}
+	}
+	return n
+}
+
+// evict removes a session unless a replay holds it. The CAS ordering
+// pairs with session.acquire (see its comment).
+func (s *Server) evict(sess *session, reason *obs.Counter) bool {
+	if !sess.evicted.CompareAndSwap(false, true) {
+		return false
+	}
+	if sess.replaying.Load() {
+		sess.evicted.Store(false)
+		return false
+	}
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	if sess.stream != nil {
+		sess.stream.Close()
+	}
+	reason.Inc()
+	s.cfg.Logf("rmccd: evicted session %s (%s)", sess.id, sess.name)
+	return true
+}
+
+// lookup finds a live session.
+func (s *Server) lookup(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+// --- handlers ---
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	sc, err := DecodeSessionConfig(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := sc.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	lt, err := sim.NewLifetimeChecked(res.name, res.footprint, res.ltCfg)
+	if err != nil {
+		if errors.Is(err, engine.ErrInvalidConfig) {
+			writeError(w, http.StatusBadRequest, err.Error())
+		} else {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	now := s.cfg.Now()
+	id := fmt.Sprintf("s-%08x", s.nextID.Add(1))
+	sess := &session{
+		id:        id,
+		shard:     s.pool.shardFor(id),
+		name:      res.name,
+		mode:      defaultStr(sc.Mode, "rmcc"),
+		scheme:    defaultStr(sc.Scheme, "morphable"),
+		seed:      res.seed,
+		created:   now,
+		cfgHash:   obs.HashConfig(sc),
+		footprint: res.footprint,
+		lt:        lt,
+		w:         res.w,
+	}
+	sess.touch(now)
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("session limit reached (%d)", s.cfg.MaxSessions))
+		return
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.mSessionsCreated.Inc()
+	s.cfg.Logf("rmccd: created session %s (%s, shard %d)", id, sess.name, sess.shard)
+	writeJSON(w, http.StatusCreated, sess.info(0))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess.info(sess.accessesDone.Load()))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	if !s.evict(sess, s.mEvictedAPI) {
+		writeError(w, http.StatusConflict, "session busy (replay in flight)")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSnapshot returns the session's cumulative stats plus a run
+// manifest — the same diffable artifact the CLI tools write, cut live.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	ok, gone := sess.acquire()
+	if !ok {
+		code, msg := http.StatusConflict, "session busy (replay in flight)"
+		if gone {
+			code, msg = http.StatusNotFound, "session evicted"
+		}
+		writeError(w, code, msg)
+		return
+	}
+	defer sess.release()
+	var res sim.LifetimeResult
+	if err := s.pool.do(r.Context(), sess.shard, func() { res = sess.lt.Result() }); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	sess.touch(s.cfg.Now())
+	stats := statsFromResult(sess.id, sess.seed, res)
+	manifest := obs.NewManifest("rmccd", map[string]any{
+		"session": sess.id, "name": sess.name, "mode": sess.mode,
+		"scheme": sess.scheme, "footprint_bytes": sess.footprint,
+	})
+	manifest.Seed = sess.seed
+	manifest.Started = sess.created.UTC().Format(time.RFC3339)
+	manifest.GoMaxProcs = runtime.GOMAXPROCS(0)
+	manifest.Notes["session"] = sess.id
+	manifest.Notes["name"] = sess.name
+	manifest.Headline["accesses"] = float64(stats.Accesses)
+	manifest.Headline["ctr_miss_rate"] = stats.CtrMissRate
+	manifest.Headline["memo_hit_rate_on_misses"] = stats.MemoHitRateOnMisses
+	manifest.Headline["accelerated_rate"] = stats.AcceleratedRate
+	manifest.Headline["total_traffic_blocks"] = float64(stats.TotalTrafficBlocks)
+	manifest.Headline["max_counter"] = float64(stats.MaxCounter)
+	writeJSON(w, http.StatusOK, SnapshotResponse{Stats: stats, Manifest: manifest})
+}
+
+// SnapshotResponse is the GET /v1/sessions/{id}/snapshot body.
+type SnapshotResponse struct {
+	Stats    ReplayStats  `json:"stats"`
+	Manifest obs.Manifest `json:"manifest"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.cfg.Logf("rmccd: write metrics: %v", err)
+	}
+}
+
+// --- response helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorBody{Error: msg})
+}

@@ -1,0 +1,436 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+	"rmcc/internal/server"
+	"rmcc/internal/server/client"
+	"rmcc/internal/sim"
+	"rmcc/internal/workload"
+)
+
+// newTestServer boots a daemon on an httptest listener.
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	srv := server.New(cfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, client.New(hs.URL)
+}
+
+func testSession() server.SessionConfig {
+	return server.SessionConfig{
+		Mode:     "rmcc",
+		Scheme:   "morphable",
+		Seed:     1,
+		Workload: "canneal",
+		Size:     "test",
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	info, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if info.ID == "" || info.Workload != "canneal" || info.Mode != "rmcc" {
+		t.Fatalf("bad session info: %+v", info)
+	}
+
+	stats, err := c.ReplayWorkload(ctx, info.ID, 5000, 0, nil)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if stats.Accesses != 5000 {
+		t.Fatalf("accesses = %d, want 5000", stats.Accesses)
+	}
+	if stats.Engine.Reads == 0 {
+		t.Fatal("no engine reads recorded")
+	}
+
+	// A second replay continues the same stream: cumulative accesses.
+	stats, err = c.ReplayWorkload(ctx, info.ID, 5000, 0, nil)
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if stats.Accesses != 10000 {
+		t.Fatalf("cumulative accesses = %d, want 10000", stats.Accesses)
+	}
+
+	snap, err := c.Snapshot(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if snap.Stats.Accesses != 10000 {
+		t.Fatalf("snapshot accesses = %d, want 10000", snap.Stats.Accesses)
+	}
+	if snap.Manifest.Tool != "rmccd" || snap.Manifest.ConfigHash == "" {
+		t.Fatalf("bad manifest: %+v", snap.Manifest)
+	}
+
+	list, err := c.ListSessions(ctx)
+	if err != nil || len(list) != 1 {
+		t.Fatalf("list = %v, %v", list, err)
+	}
+
+	if err := c.DeleteSession(ctx, info.ID); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := c.Snapshot(ctx, info.ID); !isStatus(err, http.StatusNotFound) {
+		t.Fatalf("snapshot after delete: %v, want 404", err)
+	}
+}
+
+// TestServiceMatchesDirectRun is the no-drift acceptance criterion: a
+// replay through the daemon produces stats bit-identical to RunLifetime
+// over the same seed and workload — via the server-side generator AND via
+// NDJSON streaming of the same accesses.
+func TestServiceMatchesDirectRun(t *testing.T) {
+	const n = 20_000
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	w, ok := workload.ByName(workload.SizeTest, 1, "canneal")
+	if !ok {
+		t.Fatal("canneal unavailable")
+	}
+	engCfg := engine.DefaultConfig(engine.RMCC, counter.Morphable, 0)
+	engCfg.InitSeed = 1
+	cfg := sim.DefaultLifetimeConfig(engCfg)
+	cfg.MaxAccesses = n
+	cfg.Seed = 1
+	direct := sim.RunLifetime(w, cfg)
+
+	// Server-side generator path.
+	info, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	viaWorkload, err := c.ReplayWorkload(ctx, info.ID, n, 0, nil)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	assertSameRun(t, "workload shortcut", direct, viaWorkload)
+
+	// NDJSON streaming path: capture the same stream and upload it.
+	var accs []workload.Access
+	w2, _ := workload.ByName(workload.SizeTest, 1, "canneal")
+	w2.Run(1, func(a workload.Access) bool {
+		accs = append(accs, a)
+		return len(accs) < n
+	})
+	info2, err := c.CreateSession(ctx, server.SessionConfig{
+		Mode: "rmcc", Scheme: "morphable", Seed: 1,
+		FootprintBytes: w.FootprintBytes(), Label: "canneal",
+	})
+	if err != nil {
+		t.Fatalf("create ndjson session: %v", err)
+	}
+	viaNDJSON, err := c.ReplayAccesses(ctx, info2.ID, accs)
+	if err != nil {
+		t.Fatalf("ndjson replay: %v", err)
+	}
+	assertSameRun(t, "NDJSON stream", direct, viaNDJSON)
+}
+
+func assertSameRun(t *testing.T, label string, direct sim.LifetimeResult, got server.ReplayStats) {
+	t.Helper()
+	if got.Accesses != direct.Accesses {
+		t.Fatalf("%s: accesses = %d, direct %d", label, got.Accesses, direct.Accesses)
+	}
+	if got.LLCMissReads != direct.LLCMissReads || got.LLCMissWrites != direct.LLCMissWrites {
+		t.Fatalf("%s: LLC misses %d/%d, direct %d/%d", label,
+			got.LLCMissReads, got.LLCMissWrites, direct.LLCMissReads, direct.LLCMissWrites)
+	}
+	if !reflect.DeepEqual(got.Engine, direct.Engine) {
+		t.Fatalf("%s: engine stats diverge from direct run\nservice: %+v\ndirect:  %+v",
+			label, got.Engine, direct.Engine)
+	}
+	if got.MaxCounter != direct.MaxCounter {
+		t.Fatalf("%s: max counter %d, direct %d", label, got.MaxCounter, direct.MaxCounter)
+	}
+}
+
+func TestProgressFrames(t *testing.T) {
+	_, c := newTestServer(t, server.Config{ChunkAccesses: 1000})
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var frames []uint64
+	stats, err := c.ReplayWorkload(ctx, info.ID, 10_000, 2_000, func(n uint64) {
+		frames = append(frames, n)
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if stats.Accesses != 10_000 {
+		t.Fatalf("accesses = %d", stats.Accesses)
+	}
+	if len(frames) < 3 {
+		t.Fatalf("got %d progress frames (%v), want several", len(frames), frames)
+	}
+	for i := 1; i < len(frames); i++ {
+		if frames[i] <= frames[i-1] {
+			t.Fatalf("progress not monotonic: %v", frames)
+		}
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	// Unknown workload → 400.
+	_, err := c.CreateSession(ctx, server.SessionConfig{Workload: "nope"})
+	if !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("unknown workload: %v, want 400", err)
+	}
+	// No workload and no footprint → 400.
+	_, err = c.CreateSession(ctx, server.SessionConfig{Mode: "rmcc"})
+	if !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("missing footprint: %v, want 400", err)
+	}
+	// Invalid engine config (bad counter cache) → 400 via Config.Validate.
+	bad := engine.DefaultConfig(engine.RMCC, counter.Morphable, 0)
+	bad.CounterCacheBytes = -5
+	_, err = c.CreateSession(ctx, server.SessionConfig{
+		FootprintBytes: 1 << 20, Engine: &bad,
+	})
+	if !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("invalid engine config: %v, want 400", err)
+	}
+	// Unknown session → 404.
+	_, err = c.ReplayWorkload(ctx, "s-missing", 10, 0, nil)
+	if !isStatus(err, http.StatusNotFound) {
+		t.Fatalf("missing session: %v, want 404", err)
+	}
+	// Replay on a session with no bound workload → 400.
+	info, err := c.CreateSession(ctx, server.SessionConfig{FootprintBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	_, err = c.ReplayWorkload(ctx, info.ID, 10, 0, nil)
+	if !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("unbound workload replay: %v, want 400", err)
+	}
+	// Malformed NDJSON line → 400, daemon stays healthy.
+	_, err = c.ReplayNDJSON(ctx, info.ID, strings.NewReader("{\"addr\":1}\nnot json\n"))
+	if !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("malformed NDJSON: %v, want 400", err)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("daemon unhealthy after bad input: %v", err)
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	srv, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	srv.BeginDrain()
+	if err := c.Health(ctx); !isStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("healthz while draining: %v, want 503", err)
+	}
+	if _, err := c.CreateSession(ctx, testSession()); !isStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("create while draining: %v, want 503", err)
+	}
+	if _, err := c.ReplayWorkload(ctx, info.ID, 10, 0, nil); !isStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("replay while draining: %v, want 503", err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.ReplayWorkload(ctx, info.ID, 1000, 0, nil); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	text, err := c.RawMetrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		"rmccd_sessions_created_total 1",
+		"rmccd_sessions_active 1",
+		"rmccd_replays_total{status=\"ok\"} 1",
+		"rmccd_replay_accesses_total 1000",
+		"rmccd_build_info",
+		"rmccd_shard_queue_depth",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentSessions overlaps create/replay/snapshot/delete across
+// many goroutines — the -race lifecycle test. Every session must complete
+// its replay with the exact requested access count.
+func TestConcurrentSessions(t *testing.T) {
+	_, c := newTestServer(t, server.Config{Shards: 4, QueueDepth: 4, ChunkAccesses: 512})
+	ctx := context.Background()
+	const clients = 12
+	const n = 4000
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			info, err := c.CreateSession(ctx, testSession())
+			if err != nil {
+				errs <- err
+				return
+			}
+			stats, err := c.ReplayWorkload(ctx, info.ID, n, 0, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if stats.Accesses != n {
+				errs <- &client.APIError{Status: 500, Msg: "short replay"}
+				return
+			}
+			if _, err := c.Snapshot(ctx, info.ID); err != nil {
+				errs <- err
+				return
+			}
+			if err := c.DeleteSession(ctx, info.ID); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("client: %v", err)
+	}
+
+	list, err := c.ListSessions(ctx)
+	if err != nil || len(list) != 0 {
+		t.Fatalf("leftover sessions: %v, %v", list, err)
+	}
+}
+
+// TestConcurrentReplaySameSession: exactly one of two overlapping replays
+// on one session may win; the loser gets 409.
+func TestConcurrentReplaySameSession(t *testing.T) {
+	_, c := newTestServer(t, server.Config{ChunkAccesses: 256})
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	const racers = 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	okCount, busyCount := 0, 0
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.ReplayWorkload(ctx, info.ID, 50_000, 0, nil)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				okCount++
+			case isStatus(err, http.StatusConflict):
+				busyCount++
+			default:
+				t.Errorf("unexpected replay error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if okCount == 0 {
+		t.Fatal("no replay succeeded")
+	}
+	if okCount+busyCount != racers {
+		t.Fatalf("ok=%d busy=%d, want %d total", okCount, busyCount, racers)
+	}
+}
+
+func TestIdleTTLEviction(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	srv, c := newTestServer(t, server.Config{IdleTTL: time.Minute, Now: clock})
+	ctx := context.Background()
+
+	a, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	b, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// Before the TTL: nothing to evict.
+	advance(30 * time.Second)
+	if n := srv.Sweep(clock()); n != 0 {
+		t.Fatalf("early sweep evicted %d", n)
+	}
+
+	// Touch session b only; a ages past the TTL.
+	advance(31 * time.Second)
+	if _, err := c.ReplayWorkload(ctx, b.ID, 100, 0, nil); err != nil {
+		t.Fatalf("touch replay: %v", err)
+	}
+	if n := srv.Sweep(clock()); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1 (only the idle session)", n)
+	}
+	if _, err := c.Snapshot(ctx, a.ID); !isStatus(err, http.StatusNotFound) {
+		t.Fatalf("evicted session still reachable: %v", err)
+	}
+	if _, err := c.Snapshot(ctx, b.ID); err != nil {
+		t.Fatalf("live session evicted: %v", err)
+	}
+
+	// The touched session goes once it idles past the TTL too.
+	advance(2 * time.Minute)
+	if n := srv.Sweep(clock()); n != 1 {
+		t.Fatalf("final sweep evicted %d, want 1", n)
+	}
+}
+
+func isStatus(err error, code int) bool {
+	var ae *client.APIError
+	return errors.As(err, &ae) && ae.Status == code
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"rmcc/internal/sim"
+	"rmcc/internal/workload"
+)
+
+// session is one client-visible simulation: a Lifetime stepper (engine +
+// cache hierarchy + TLBs + page mapper) pinned to a shard. The lt and
+// stream fields are touched only on the shard goroutine or while the
+// session is held exclusively by a replay; everything else is immutable
+// or atomic.
+type session struct {
+	id      string
+	shard   int
+	name    string
+	mode    string
+	scheme  string
+	seed    uint64
+	created time.Time
+
+	cfgHash   string
+	footprint uint64
+
+	lt *sim.Lifetime
+	w  workload.Workload // bound generator; nil for NDJSON-only sessions
+	// stream is the persistent pull side of the bound generator, created
+	// on first workload replay so successive replays continue one
+	// deterministic stream. Closed at eviction.
+	stream *sim.AccessStream
+
+	lastUsed atomic.Int64 // unix nanos
+	// accessesDone mirrors lt.Accesses() for lock-free listings; updated
+	// after each shard-applied chunk.
+	accessesDone atomic.Uint64
+	replaying    atomic.Bool // exclusive replay/snapshot-modifying lease
+	evicted      atomic.Bool
+}
+
+func (s *session) touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
+
+// acquire takes the exclusive replay lease, refusing sessions that are
+// busy or already evicted. The CAS-then-check-other-flag ordering pairs
+// with evict's: when the two race, at least one side observes the other
+// and backs off.
+func (s *session) acquire() (ok, gone bool) {
+	if !s.replaying.CompareAndSwap(false, true) {
+		return false, false
+	}
+	if s.evicted.Load() {
+		s.replaying.Store(false)
+		return false, true
+	}
+	return true, false
+}
+
+func (s *session) release() { s.replaying.Store(false) }
+
+// info renders the listing view.
+func (s *session) info(accesses uint64) SessionInfo {
+	wl := ""
+	if s.w != nil {
+		wl = s.w.Name()
+	}
+	return SessionInfo{
+		ID:             s.id,
+		Shard:          s.shard,
+		Name:           s.name,
+		Workload:       wl,
+		Mode:           s.mode,
+		Scheme:         s.scheme,
+		Seed:           s.seed,
+		FootprintBytes: s.footprint,
+		Created:        s.created.UTC().Format(time.RFC3339),
+		Accesses:       accesses,
+		Replaying:      s.replaying.Load(),
+		ConfigHash:     s.cfgHash,
+	}
+}

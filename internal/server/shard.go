@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"hash/fnv"
+	"sync"
+)
+
+// shardJob is one unit of serialized simulator work: run executes on the
+// owning shard's goroutine, done closes when it returns.
+type shardJob struct {
+	run  func()
+	done chan struct{}
+}
+
+// shardPool is a fixed set of single-owner worker goroutines. Every
+// session is pinned to one shard (FNV hash of its ID), and all access to
+// its engine happens inside that shard's loop — the serialization that
+// makes non-thread-safe engines servable. Queues are bounded: a full
+// queue blocks the submitting HTTP handler, which propagates as TCP
+// backpressure to streaming clients.
+type shardPool struct {
+	queues []chan shardJob
+	wg     sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+func newShardPool(shards, depth int) *shardPool {
+	p := &shardPool{queues: make([]chan shardJob, shards)}
+	for i := range p.queues {
+		q := make(chan shardJob, depth)
+		p.queues[i] = q
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range q {
+				job.run()
+				close(job.done)
+			}
+		}()
+	}
+	return p
+}
+
+// shardFor pins a session ID to a shard.
+func (p *shardPool) shardFor(id string) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(len(p.queues)))
+}
+
+// queueLen reports a shard's current queue depth (metrics).
+func (p *shardPool) queueLen(shard int) int { return len(p.queues[shard]) }
+
+// do runs fn on the session's shard goroutine and waits for it to finish.
+// Enqueueing respects ctx (backpressure wait is cancellable); once
+// enqueued, do always waits for completion — fn itself is responsible for
+// returning promptly when ctx is cancelled, so results are never read
+// while the shard still runs.
+func (p *shardPool) do(ctx context.Context, shard int, fn func()) error {
+	job := shardJob{run: fn, done: make(chan struct{})}
+	select {
+	case p.queues[shard] <- job:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	<-job.done
+	return nil
+}
+
+// close shuts the queues and waits for the workers to drain. Callers must
+// guarantee no further do calls.
+func (p *shardPool) close() {
+	p.closeOnce.Do(func() {
+		for _, q := range p.queues {
+			close(q)
+		}
+	})
+	p.wg.Wait()
+}

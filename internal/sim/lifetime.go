@@ -11,8 +11,6 @@ package sim
 
 import (
 	"rmcc/internal/mem/cache"
-	"rmcc/internal/mem/tlb"
-	"rmcc/internal/mem/vm"
 	"rmcc/internal/obs"
 	"rmcc/internal/secmem/engine"
 	"rmcc/internal/workload"
@@ -94,75 +92,26 @@ type LifetimeResult struct {
 // LLCMisses returns total MC read requests (the Figure-3 denominator).
 func (r LifetimeResult) LLCMisses() uint64 { return r.LLCMissReads }
 
-// RunLifetime executes a whole-lifetime functional simulation of w.
+// RunLifetime executes a whole-lifetime functional simulation of w: a
+// Lifetime stepper fed by the workload's access stream until MaxAccesses.
 func RunLifetime(w workload.Workload, cfg LifetimeConfig) LifetimeResult {
-	h := newHierarchy(cfg.L1, cfg.L2, cfg.LLC)
-	physBytes := physFor(w.FootprintBytes(), cfg.PageBytes)
-	mapper := vm.New(physBytes, cfg.PageBytes, cfg.Seed^0xabcd)
-	engCfg := cfg.Engine
-	engCfg.MemBytes = physBytes
-	mc := engine.New(engCfg)
-	if cfg.Tracer != nil {
-		mc.SetTracer(cfg.Tracer)
+	lt, err := NewLifetimeChecked(w.Name(), w.FootprintBytes(), cfg)
+	if err != nil {
+		// Experiment configurations are code-defined, not user input;
+		// match engine.New's panic-on-invalid contract.
+		panic(err)
 	}
-	if cfg.OnController != nil {
-		cfg.OnController(mc)
-	}
-
-	tlb4k := tlb.New(tlb.Config{Entries: cfg.TLBEntries, Ways: 12, PageBytes: 4 << 10})
-	tlb2m := tlb.New(tlb.Config{Entries: cfg.TLBEntries, Ways: 12, PageBytes: 2 << 20})
-	if cfg.Metrics != nil {
-		mc.RegisterMetrics(cfg.Metrics)
-		registerHierarchyMetrics(cfg.Metrics, h)
-		cfg.Metrics.CounterFunc("rmcc_sim_tlb_misses_total",
-			"TLB misses on the CPU access stream by page size",
-			func() uint64 { return tlb4k.Stats().Misses }, obs.L("page", "4k"))
-		cfg.Metrics.CounterFunc("rmcc_sim_tlb_misses_total", "",
-			func() uint64 { return tlb2m.Stats().Misses }, obs.L("page", "2m"))
-	}
-
-	res := LifetimeResult{Workload: w.Name()}
 	st := newStream(func(sink workload.Sink) { w.Run(cfg.Seed, sink) })
 	defer st.close()
 
-	for res.Accesses < cfg.MaxAccesses {
+	for lt.Accesses() < cfg.MaxAccesses {
 		a, ok := st.next()
 		if !ok {
 			break
 		}
-		res.Accesses++
-		tlb4k.Lookup(a.Addr)
-		tlb2m.Lookup(a.Addr)
-		paddr := mapper.Translate(a.Addr)
-		miss, victims := h.access(paddr, a.Write)
-		for _, v := range victims {
-			mc.Write(v)
-			mc.OnEpochAccess()
-			res.LLCMissWrites++
-		}
-		if miss {
-			mc.Read(paddr)
-			mc.OnEpochAccess()
-			res.LLCMissReads++
-		}
-		if cfg.OnAccess != nil {
-			cfg.OnAccess(res.Accesses, mc)
-		}
+		lt.Step(a)
 	}
-
-	res.TLB4KMisses = tlb4k.Stats().Misses
-	res.TLB2MMisses = tlb2m.Stats().Misses
-	res.L1Stats = h.l1.Stats()
-	res.L2Stats = h.l2.Stats()
-	res.LLCStats = h.llc.Stats()
-	res.Engine = mc.Stats()
-	if mc.Store() != nil {
-		res.MaxCounter = mc.Store().ObservedMax()
-	}
-	if mc.L0Table() != nil && mc.Store() != nil {
-		res.CoveragePerValue = coveragePerValue(mc)
-	}
-	return res
+	return lt.Result()
 }
 
 // physFor sizes simulated physical memory: footprint plus slack, page

@@ -73,3 +73,21 @@ func (s *stream) close() {
 	s.idx = 0
 	s.drained = true
 }
+
+// AccessStream is the exported pull side of a workload's push-style
+// stream: the rmccd service holds one per workload-bound session so
+// successive replay calls continue the same deterministic stream instead
+// of restarting it. Close stops the generator goroutine.
+type AccessStream struct{ s *stream }
+
+// NewAccessStream starts run (a closure invoking Workload.Run with the
+// supplied sink) in a goroutine and returns the pull side.
+func NewAccessStream(run func(sink workload.Sink)) *AccessStream {
+	return &AccessStream{s: newStream(run)}
+}
+
+// Next returns the next access; ok is false once the stream is exhausted.
+func (a *AccessStream) Next() (workload.Access, bool) { return a.s.next() }
+
+// Close stops the generator and discards buffered accesses.
+func (a *AccessStream) Close() { a.s.close() }

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the rmccd service stack (CI: service-smoke):
+#
+#   1. build rmccd + rmcc-loadgen,
+#   2. boot the daemon on an ephemeral port,
+#   3. drive 8 concurrent sessions through the built-in workload replay
+#      with -check (service stats must be bit-identical to a direct
+#      in-process simulation) and scrape /metrics,
+#   4. replay once more over the NDJSON streaming-upload path,
+#   5. SIGTERM the daemon and require a clean graceful drain: exit 0
+#      within the drain deadline.
+#
+# Usage: scripts/service_smoke.sh  [sessions] [accesses]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sessions="${1:-8}"
+accesses="${2:-20000}"
+workdir="$(mktemp -d)"
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+echo "service-smoke: building rmccd and rmcc-loadgen" >&2
+go build -o "$workdir/rmccd" ./cmd/rmccd
+go build -o "$workdir/rmcc-loadgen" ./cmd/rmcc-loadgen
+
+# Start the daemon directly (no subshell) so `wait` can retrieve its real
+# exit status later.
+"$workdir/rmccd" -addr 127.0.0.1:0 -port-file "$workdir/addr" -drain 10s \
+    2> "$workdir/rmccd.log" &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    sleep 0.1
+done
+addr="$(cat "$workdir/addr")"
+echo "service-smoke: rmccd (pid $daemon_pid) on $addr" >&2
+
+echo "service-smoke: $sessions concurrent sessions x $accesses accesses (workload replay, -check)" >&2
+"$workdir/rmcc-loadgen" -addr "$addr" -sessions "$sessions" \
+    -workload canneal -size test -accesses "$accesses" \
+    -check -metrics-out "$workdir/metrics.txt"
+
+echo "service-smoke: NDJSON streaming-upload path" >&2
+"$workdir/rmcc-loadgen" -addr "$addr" -sessions 2 \
+    -workload canneal -size test -accesses "$accesses" -ndjson
+
+grep -q 'rmccd_replays_total{status="ok"}' "$workdir/metrics.txt" \
+    || { echo "service-smoke: /metrics missing replay counters" >&2; exit 1; }
+grep -q 'rmccd_build_info' "$workdir/metrics.txt" \
+    || { echo "service-smoke: /metrics missing build info" >&2; exit 1; }
+
+echo "service-smoke: SIGTERM -> expecting clean drain (exit 0)" >&2
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "service-smoke: rmccd exited $status (want 0: clean graceful drain)" >&2
+    cat "$workdir/rmccd.log" >&2
+    exit 1
+fi
+grep -q 'shutdown complete' "$workdir/rmccd.log" \
+    || { echo "service-smoke: daemon log missing 'shutdown complete'" >&2; cat "$workdir/rmccd.log" >&2; exit 1; }
+
+echo "service-smoke: PASS" >&2
