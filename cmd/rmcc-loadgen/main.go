@@ -1,15 +1,17 @@
 // Command rmcc-loadgen benchmarks an rmccd daemon: it creates N sessions,
 // replays a workload through every one concurrently, and reports
-// per-session and aggregate service throughput. With -check it also runs
-// the same simulation directly in-process and verifies the service
-// returned bit-identical engine stats — the no-behavioral-drift guarantee
-// of the service layer.
+// per-session and aggregate service throughput plus client-observed
+// replay-latency percentiles. With -check it also runs the same
+// simulation directly in-process and verifies the service returned
+// bit-identical engine stats — the no-behavioral-drift guarantee of the
+// service layer.
 //
 // Examples:
 //
 //	rmcc-loadgen -addr http://127.0.0.1:8077 -sessions 8 -workload canneal -accesses 50000
 //	rmcc-loadgen -addr http://$ADDR -sessions 8 -size test -check -metrics-out -
 //	rmcc-loadgen -ndjson -sessions 4        # exercise the streaming-upload path
+//	rmcc-loadgen -replays 16 -accesses 5000 # 16 latency samples per session
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +28,7 @@ import (
 
 	"rmcc"
 	"rmcc/internal/buildinfo"
+	"rmcc/internal/obs"
 	"rmcc/internal/server"
 	"rmcc/internal/server/client"
 	"rmcc/internal/workload"
@@ -38,19 +42,34 @@ func main() {
 		sizeStr    = flag.String("size", "test", "workload scale: test|small|full")
 		modeStr    = flag.String("mode", "rmcc", "protection: nonsecure|baseline|rmcc")
 		schemeStr  = flag.String("scheme", "morphable", "counters: sgx|sc64|morphable")
-		accesses   = flag.Uint64("accesses", 50_000, "accesses to replay per session")
+		accesses   = flag.Uint64("accesses", 50_000, "accesses to replay per request")
+		replays    = flag.Int("replays", 1, "sequential replay requests per session (each a latency sample; the stream continues across them)")
 		seed       = flag.Uint64("seed", 1, "simulation seed (all sessions share it)")
 		ndjson     = flag.Bool("ndjson", false, "stream the accesses as NDJSON instead of using the server-side generator")
 		check      = flag.Bool("check", false, "run the same simulation in-process and require bit-identical engine stats")
 		keep       = flag.Bool("keep", false, "leave the sessions on the daemon instead of deleting them")
 		timeout    = flag.Duration("timeout", 5*time.Minute, "overall deadline")
-		metricsOut = flag.String("metrics-out", "", "scrape /metrics after the run to this file (- for stdout)")
+		metricsOut = flag.String("metrics-out", "", "scrape /metrics after the run to this file (- for stdout), with client-side latency quantiles appended")
+		logLevel   = flag.String("log-level", "warn", "minimum log level: debug|info|warn|error")
+		logFormat  = flag.String("log-format", "text", "log line encoding: text|json")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("rmcc-loadgen"))
 		return
+	}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	format, err := obs.ParseLogFormat(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	lg := obs.NewLogger(os.Stderr, level, format)
+	if *replays < 1 {
+		*replays = 1
 	}
 
 	base := *addr
@@ -91,13 +110,6 @@ func main() {
 		})
 	}
 
-	type result struct {
-		idx   int
-		id    string
-		stats server.ReplayStats
-		secs  float64
-		err   error
-	}
 	results := make([]result, *sessions)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -105,7 +117,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r := result{idx: i}
+			r := result{idx: i, durs: make([]float64, 0, *replays)}
 			defer func() { results[i] = r }()
 			info, err := c.CreateSession(ctx, scfg)
 			if err != nil {
@@ -113,13 +125,26 @@ func main() {
 				return
 			}
 			r.id = info.ID
+			lg.Debug("session created", "session", info.ID, "shard", info.Shard)
 			t0 := time.Now()
-			if *ndjson {
-				r.stats, r.err = c.ReplayAccesses(ctx, info.ID, stream)
-			} else {
-				r.stats, r.err = c.ReplayWorkload(ctx, info.ID, *accesses, 0, nil)
+			for k := 0; k < *replays && r.err == nil; k++ {
+				rt0 := time.Now()
+				if *ndjson {
+					// NDJSON sessions replay the same captured stream each
+					// request (the -check contract only covers -replays 1
+					// here; the workload path continues one stream).
+					r.stats, r.err = c.ReplayAccesses(ctx, info.ID, stream)
+				} else {
+					r.stats, r.err = c.ReplayWorkload(ctx, info.ID, *accesses, 0, nil)
+				}
+				if r.err == nil {
+					r.durs = append(r.durs, time.Since(rt0).Seconds())
+				}
 			}
 			r.secs = time.Since(t0).Seconds()
+			if r.err != nil {
+				lg.Warn("session failed", "session", info.ID, "error", r.err)
+			}
 			if !*keep {
 				if derr := c.DeleteSession(ctx, info.ID); derr != nil && r.err == nil {
 					r.err = fmt.Errorf("delete: %w", derr)
@@ -131,6 +156,7 @@ func main() {
 	wall := time.Since(start).Seconds()
 
 	var total uint64
+	var allDurs []float64
 	failed := 0
 	for _, r := range results {
 		if r.err != nil {
@@ -139,18 +165,33 @@ func main() {
 			continue
 		}
 		total += r.stats.Accesses
-		fmt.Printf("session %-10s %8d accesses  %6.2fs  ctr-miss %.1f%%  memo-hit %.1f%%\n",
+		allDurs = append(allDurs, r.durs...)
+		p50, p95, p99 := quantiles(r.durs)
+		fmt.Printf("session %-10s %8d accesses  %6.2fs  ctr-miss %.1f%%  memo-hit %.1f%%  p50 %s  p95 %s  p99 %s\n",
 			r.id, r.stats.Accesses, r.secs,
-			100*r.stats.CtrMissRate, 100*r.stats.MemoHitRateOnMisses)
+			100*r.stats.CtrMissRate, 100*r.stats.MemoHitRateOnMisses,
+			fmtDur(p50), fmtDur(p95), fmtDur(p99))
 	}
 	fmt.Printf("total: %d sessions, %d accesses in %.2fs (%.0f accesses/s aggregate)\n",
 		*sessions, total, wall, float64(total)/wall)
+	if len(allDurs) > 0 {
+		p50, p95, p99 := quantiles(allDurs)
+		fmt.Printf("replay latency (%d samples): p50 %s  p95 %s  p99 %s\n",
+			len(allDurs), fmtDur(p50), fmtDur(p95), fmtDur(p99))
+	}
 	if failed > 0 {
 		fatal(fmt.Errorf("%d of %d sessions failed", failed, *sessions))
 	}
 
 	if *check {
-		if err := checkEquivalence(results[0].stats, *name, *sizeStr, *modeStr, *schemeStr, *seed, *accesses); err != nil {
+		wantAccesses := *accesses
+		if !*ndjson {
+			// Sequential workload replays continue one deterministic
+			// stream, so the final cumulative stats equal one direct run
+			// of replays×accesses.
+			wantAccesses = *accesses * uint64(*replays)
+		}
+		if err := checkEquivalence(results[0].stats, *name, *sizeStr, *modeStr, *schemeStr, *seed, wantAccesses); err != nil {
 			fatal(err)
 		}
 		for _, r := range results[1:] {
@@ -167,12 +208,69 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("scrape metrics: %w", err))
 		}
+		text += latencyMetrics(results, allDurs)
 		if *metricsOut == "-" {
 			fmt.Print(text)
 		} else if err := os.WriteFile(*metricsOut, []byte(text), 0o644); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// result accumulates one session's outcome; durs holds one
+// client-observed latency sample per replay request, in seconds.
+type result struct {
+	idx   int
+	id    string
+	stats server.ReplayStats
+	secs  float64
+	durs  []float64
+	err   error
+}
+
+// quantiles returns p50/p95/p99 of a sample in seconds.
+func quantiles(durs []float64) (p50, p95, p99 float64) {
+	if len(durs) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), durs...)
+	sort.Float64s(sorted)
+	return obs.QuantileSorted(sorted, 0.50),
+		obs.QuantileSorted(sorted, 0.95),
+		obs.QuantileSorted(sorted, 0.99)
+}
+
+func fmtDur(secs float64) string {
+	return time.Duration(secs * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// latencyMetrics renders the client-observed replay latency quantiles in
+// Prometheus text form, appended to the scraped daemon page so one
+// -metrics-out artifact carries both server- and client-side views.
+func latencyMetrics(results []result, allDurs []float64) string {
+	var sb strings.Builder
+	sb.WriteString("# HELP loadgen_replay_latency_seconds client-observed replay request latency\n")
+	sb.WriteString("# TYPE loadgen_replay_latency_seconds gauge\n")
+	var sum float64
+	for _, d := range allDurs {
+		sum += d
+	}
+	p50, p95, p99 := quantiles(allDurs)
+	fmt.Fprintf(&sb, "loadgen_replay_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(&sb, "loadgen_replay_latency_seconds{quantile=\"0.95\"} %g\n", p95)
+	fmt.Fprintf(&sb, "loadgen_replay_latency_seconds{quantile=\"0.99\"} %g\n", p99)
+	fmt.Fprintf(&sb, "loadgen_replay_latency_seconds_count %d\n", len(allDurs))
+	fmt.Fprintf(&sb, "loadgen_replay_latency_seconds_sum %g\n", sum)
+	for _, r := range results {
+		if r.err != nil || len(r.durs) == 0 {
+			continue
+		}
+		sp50, sp95, sp99 := quantiles(r.durs)
+		fmt.Fprintf(&sb, "loadgen_session_replay_latency_seconds{session=%q,quantile=\"0.5\"} %g\n", r.id, sp50)
+		fmt.Fprintf(&sb, "loadgen_session_replay_latency_seconds{session=%q,quantile=\"0.95\"} %g\n", r.id, sp95)
+		fmt.Fprintf(&sb, "loadgen_session_replay_latency_seconds{session=%q,quantile=\"0.99\"} %g\n", r.id, sp99)
+	}
+	return sb.String()
 }
 
 // checkEquivalence reruns the first session's simulation in-process

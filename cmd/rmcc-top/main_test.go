@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rmcc/internal/obs"
+	"rmcc/internal/server"
+)
+
+const sampleMetrics = `# HELP rmccd_uptime_seconds seconds since the daemon started
+rmccd_uptime_seconds 125
+rmccd_sessions_active 2
+rmccd_replays_total{status="ok"} 7
+rmccd_replays_total{status="error"} 1
+rmccd_replay_accesses_total 3500000
+rmccd_spans_total 42
+rmccd_log_lines_total 9
+rmccd_shard_queue_depth{shard="0"} 0
+rmccd_shard_queue_depth{shard="1"} 3
+rmccd_replay_stage_duration_us_bucket{le="128",stage="engine-step"} 5
+rmccd_replay_stage_duration_us_bucket{le="+Inf",stage="engine-step"} 10
+rmccd_replay_stage_duration_us_count{stage="engine-step"} 10
+rmccd_replay_stage_duration_us_sum{stage="engine-step"} 1000
+`
+
+func TestRenderFrame(t *testing.T) {
+	pm, err := obs.ParsePromText(strings.NewReader(sampleMetrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := []server.SessionInfo{
+		{ID: "s-1", Workload: "canneal", Shard: 1, Accesses: 3_000_000,
+			CtrMissRate: 0.25, MemoHitRateOnMisses: 0.8, AcceleratedRate: 0.6,
+			ReplayP50us: 120, ReplayP99us: 900, Replaying: true},
+		{ID: "s-2", Name: "dedup", Shard: 0, Accesses: 500_000},
+	}
+	frame := render(pm, sessions, time.Unix(0, 0).UTC())
+	for _, want := range []string{
+		"sessions 2", "replays 7 ok / 1 err", "accesses 3.50M",
+		"engine-step p50", "shard queues:  0:0  1:3",
+		"SESSION", "CTR-MISS%", "P99µs",
+		"s-1", "canneal", "replaying",
+		"s-2", "dedup", "idle",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// Busiest session sorts first.
+	if strings.Index(frame, "s-1") > strings.Index(frame, "s-2") {
+		t.Errorf("sessions not sorted by accesses:\n%s", frame)
+	}
+}
+
+func TestRenderNoSessions(t *testing.T) {
+	pm, err := obs.ParsePromText(strings.NewReader("rmccd_uptime_seconds 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := render(pm, nil, time.Unix(0, 0))
+	if !strings.Contains(frame, "(no live sessions)") {
+		t.Errorf("empty listing not handled:\n%s", frame)
+	}
+}
+
+func TestHuman(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {950, "950"}, {12_500, "12.5k"}, {3_500_000, "3.50M"}, {2e9, "2.00G"},
+	} {
+		if got := human(tc.v); got != tc.want {
+			t.Errorf("human(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

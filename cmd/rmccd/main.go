@@ -8,6 +8,13 @@
 //	rmccd -addr 127.0.0.1:8077
 //	rmccd -addr 127.0.0.1:0 -port-file /tmp/rmccd.addr   # ephemeral port
 //	rmccd -shards 8 -idle-ttl 5m -drain 10s
+//	rmccd -log-level debug -log-format json
+//	rmccd -debug-addr 127.0.0.1:8078                     # /statusz, /debug/pprof, /debug/tracez
+//
+// Operational logs are structured (text or JSON, -log-format) and leveled
+// (-log-level); every session-scoped line carries session/shard/workload/
+// seed fields. The debug surface (statusz, tracez, pprof) only exists
+// when -debug-addr is set, on its own listener.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: /healthz flips to 503, new
 // work is refused, and in-flight replays drain until -drain expires, after
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"rmcc/internal/buildinfo"
+	"rmcc/internal/obs"
 	"rmcc/internal/server"
 )
 
@@ -36,15 +44,19 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8077", "listen address (host:0 picks an ephemeral port)")
-		portFile = flag.String("port-file", "", "write the resolved listen address to this file (for scripts wrapping host:0)")
-		shards   = flag.Int("shards", 0, "session shard workers (default GOMAXPROCS)")
-		queue    = flag.Int("queue", 0, "per-shard job queue depth (default 64)")
-		idleTTL  = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (<0 disables)")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight replays")
-		chunk    = flag.Int("chunk", 0, "replay chunk size in accesses (default 4096)")
-		quiet    = flag.Bool("quiet", false, "suppress per-session log lines")
-		version  = flag.Bool("version", false, "print version and exit")
+		addr      = flag.String("addr", "127.0.0.1:8077", "listen address (host:0 picks an ephemeral port)")
+		portFile  = flag.String("port-file", "", "write the resolved listen address to this file (for scripts wrapping host:0)")
+		shards    = flag.Int("shards", 0, "session shard workers (default GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "per-shard job queue depth (default 64)")
+		idleTTL   = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (<0 disables)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight replays")
+		chunk     = flag.Int("chunk", 0, "replay chunk size in accesses (default 4096)")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log line encoding: text|json")
+		debugAddr = flag.String("debug-addr", "", "serve /statusz, /debug/tracez and /debug/pprof on this extra listener (off when empty)")
+		debugPort = flag.String("debug-port-file", "", "write the resolved debug listen address to this file")
+		quiet     = flag.Bool("quiet", false, "deprecated: same as -log-level error")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -52,29 +64,39 @@ func run() int {
 		return 0
 	}
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmccd:", err)
+		return 2
 	}
+	if *quiet {
+		level = obs.LogError
+	}
+	format, err := obs.ParseLogFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmccd:", err)
+		return 2
+	}
+	log := obs.NewLogger(os.Stderr, level, format).
+		With("version", buildinfo.Version())
+
 	cfg := server.Config{
 		Shards:        *shards,
 		QueueDepth:    *queue,
 		IdleTTL:       *idleTTL,
 		ChunkAccesses: *chunk,
-		Logf:          logf,
-	}
-	if *quiet {
-		cfg.Logf = nil
+		Logger:        log,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logf("rmccd: listen: %v", err)
+		log.Error("listen failed", "addr", *addr, "error", err)
 		return 2
 	}
 	resolved := ln.Addr().String()
 	if *portFile != "" {
 		if err := os.WriteFile(*portFile, []byte(resolved), 0o644); err != nil {
-			logf("rmccd: write port file: %v", err)
+			log.Error("write port file failed", "path", *portFile, "error", err)
 			return 2
 		}
 	}
@@ -82,6 +104,32 @@ func run() int {
 	srv := server.New(cfg)
 	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 	fmt.Printf("rmccd: %s listening on http://%s\n", buildinfo.String("rmccd"), resolved)
+	log.Info("listening", "addr", resolved)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Error("debug listen failed", "addr", *debugAddr, "error", err)
+			srv.Close()
+			return 2
+		}
+		debugResolved := dln.Addr().String()
+		if *debugPort != "" {
+			if err := os.WriteFile(*debugPort, []byte(debugResolved), 0o644); err != nil {
+				log.Error("write debug port file failed", "path", *debugPort, "error", err)
+				srv.Close()
+				return 2
+			}
+		}
+		debugSrv = &http.Server{Handler: srv.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Warn("debug serve stopped", "error", err)
+			}
+		}()
+		log.Info("debug endpoints up", "addr", debugResolved)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -92,11 +140,11 @@ func run() int {
 	clean := true
 	select {
 	case sig := <-sigCh:
-		logf("rmccd: %v: draining (deadline %s)", sig, *drain)
+		log.Info("draining", "signal", sig.String(), "deadline", *drain)
 		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			logf("rmccd: drain deadline expired; force-cancelling replays")
+			log.Warn("drain deadline expired; force-cancelling replays")
 			srv.ForceCancel()
 			// Give cancelled handlers a moment to unwind, then close.
 			time.Sleep(200 * time.Millisecond)
@@ -106,16 +154,19 @@ func run() int {
 		cancel()
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			logf("rmccd: serve: %v", err)
+			log.Error("serve failed", "error", err)
 			srv.Close()
 			return 2
 		}
 	}
+	if debugSrv != nil {
+		_ = debugSrv.Close()
+	}
 	srv.Close()
 	if clean {
-		logf("rmccd: shutdown complete")
+		log.Info("shutdown complete")
 		return 0
 	}
-	logf("rmccd: shutdown forced after drain deadline")
+	log.Warn("shutdown forced after drain deadline")
 	return 1
 }

@@ -31,6 +31,56 @@ func newHistogram(bounds []uint64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
 }
 
+// NewHistogram builds a standalone (unregistered) histogram with the given
+// fixed ascending bucket upper bounds — for per-session or otherwise
+// high-cardinality latency tracking that should not flood the registry.
+// Panics on unsorted bounds, like registry-owned histograms.
+func NewHistogram(bounds []uint64) *Histogram {
+	return newHistogram(bounds)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed values
+// by linear interpolation within the bucket containing the target rank.
+// Returns 0 with no observations; values in the +Inf bucket clamp to the
+// highest finite bound. Nil-safe. The estimate is only as fine as the
+// bucket layout — good enough for p50/p99 dashboards, not for SLA math.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	lower := float64(0)
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum+c) >= rank && c > 0 {
+			upper := float64(bound)
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+		lower = float64(bound)
+	}
+	// Target rank fell in the +Inf bucket: clamp to the top finite bound.
+	if len(h.bounds) > 0 {
+		return float64(h.bounds[len(h.bounds)-1])
+	}
+	return 0
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
@@ -74,6 +124,31 @@ func (h *Histogram) Buckets() (bounds []uint64, cumulative []uint64) {
 		cumulative[i] = c
 	}
 	return bounds, cumulative
+}
+
+// QuantileSorted returns the q-quantile of an ascending-sorted sample by
+// linear interpolation between order statistics — the exact (non-bucketed)
+// counterpart of Histogram.Quantile, used for client-side latency
+// percentiles where the full sample is in hand. Returns 0 on an empty
+// sample.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[i] + (sorted[i+1]-sorted[i])*frac
 }
 
 // Pow2Buckets returns ascending power-of-two bucket bounds from 1<<lo to

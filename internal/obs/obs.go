@@ -103,7 +103,12 @@ func (m *metric) value() float64 {
 	return 0
 }
 
-// labelString renders {k="v",...} or "" for an unlabeled series.
+// labelString renders {k="v",...} or "" for an unlabeled series. Label
+// values are escaped per the Prometheus text exposition format, which
+// defines exactly three escapes — backslash, double quote, and newline.
+// Go's %q is NOT equivalent: it also escapes tabs and non-ASCII as \t and
+// \uXXXX, sequences the Prometheus parser does not interpret and would
+// surface verbatim.
 func (m *metric) labelString() string {
 	if len(m.labels) == 0 {
 		return ""
@@ -114,10 +119,23 @@ func (m *metric) labelString() string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// promLabelEscaper applies the three escapes the Prometheus text format
+// defines for quoted label values.
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeLabelValue escapes v for use inside a quoted Prometheus label
+// value.
+func escapeLabelValue(v string) string {
+	return promLabelEscaper.Replace(v)
 }
 
 // Registry holds registered metrics. Registration and export are guarded by

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPromLabelEscapeRoundTrip is the regression test for the label
+// escaping fix: hostile label values (backslash, quote, newline, tab,
+// non-ASCII) must export as valid Prometheus text and parse back
+// byte-identical. The old %q rendering emitted \t and \u escapes the
+// Prometheus format does not define, so tabs and accents corrupted on
+// the wire.
+func TestPromLabelEscapeRoundTrip(t *testing.T) {
+	nasty := []string{
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		"tab\there",
+		"café über",
+		`all three \ " ` + "\n mixed",
+	}
+	reg := NewRegistry()
+	for i, v := range nasty {
+		c := reg.Counter("escape_test_total", "escaping round trip",
+			L("idx", string(rune('a'+i))), L("v", v))
+		c.Add(uint64(i + 1))
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	// The three defined escapes must appear; %q artifacts must not.
+	if strings.Contains(text, `\t`) || strings.Contains(text, `\u00`) {
+		t.Errorf("export contains Go-style escapes Prometheus does not define:\n%s", text)
+	}
+	parsed, err := ParsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("round trip failed to parse: %v\n%s", err, text)
+	}
+	for i, v := range nasty {
+		got, ok := parsed.Value("escape_test_total", L("idx", string(rune('a'+i))))
+		if !ok {
+			t.Fatalf("series %d lost in round trip", i)
+		}
+		if got != float64(i+1) {
+			t.Errorf("series %d value = %v, want %d", i, got, i+1)
+		}
+		// Find the sample and check the label value survived intact.
+		found := false
+		for _, s := range parsed.Samples {
+			if s.Label("idx") == string(rune('a'+i)) {
+				found = true
+				if s.Label("v") != v {
+					t.Errorf("label %d corrupted: got %q want %q", i, s.Label("v"), v)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("series %d missing", i)
+		}
+	}
+}
+
+// TestParsePromTextBasics covers comments, unlabeled series, +Inf, and
+// error reporting.
+func TestParsePromTextBasics(t *testing.T) {
+	text := `# HELP up is it up
+# TYPE up gauge
+up 1
+lat_bucket{le="10"} 3
+lat_bucket{le="+Inf"} 5
+lat_sum 40
+lat_count 5
+`
+	p, err := ParsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) != 5 {
+		t.Fatalf("parsed %d samples, want 5", len(p.Samples))
+	}
+	if v, ok := p.Value("up"); !ok || v != 1 {
+		t.Errorf("up = %v,%v", v, ok)
+	}
+	if v, ok := p.Value("lat_bucket", L("le", "+Inf")); !ok || v != 5 {
+		t.Errorf("+Inf bucket = %v,%v", v, ok)
+	}
+	if _, ok := p.Value("absent"); ok {
+		t.Error("absent metric reported present")
+	}
+	if _, err := ParsePromText(strings.NewReader("garbage-without-value\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+// TestHistQuantile checks client-side quantile estimation from cumulative
+// buckets, including label restriction and the +Inf clamp.
+func TestHistQuantile(t *testing.T) {
+	text := `d_bucket{stage="a",le="10"} 50
+d_bucket{stage="a",le="100"} 90
+d_bucket{stage="a",le="+Inf"} 100
+d_bucket{stage="b",le="10"} 0
+d_bucket{stage="b",le="100"} 0
+d_bucket{stage="b",le="+Inf"} 0
+`
+	p, err := ParsePromText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p50 of stage a: rank 50 lands exactly at the top of the first
+	// bucket → 10.
+	if v, ok := p.HistQuantile("d", 0.5, L("stage", "a")); !ok || math.Abs(v-10) > 1e-9 {
+		t.Errorf("p50 = %v,%v, want 10", v, ok)
+	}
+	// p75: rank 75, 25 of the 40 in (10,100] → 10 + 90*(25/40) = 66.25.
+	if v, ok := p.HistQuantile("d", 0.75, L("stage", "a")); !ok || math.Abs(v-66.25) > 1e-9 {
+		t.Errorf("p75 = %v,%v, want 66.25", v, ok)
+	}
+	// p99 lands in the +Inf bucket → clamps to the top finite bound.
+	if v, ok := p.HistQuantile("d", 0.99, L("stage", "a")); !ok || v != 100 {
+		t.Errorf("p99 = %v,%v, want clamp to 100", v, ok)
+	}
+	// Empty histogram: not ok.
+	if _, ok := p.HistQuantile("d", 0.5, L("stage", "b")); ok {
+		t.Error("empty histogram reported a quantile")
+	}
+	// Absent metric: not ok.
+	if _, ok := p.HistQuantile("nope", 0.5); ok {
+		t.Error("absent histogram reported a quantile")
+	}
+}
+
+// TestHistogramQuantile checks the server-side bucketed estimate.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	for i := 0; i < 50; i++ {
+		h.Observe(5) // bucket le=10
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(50) // bucket le=100
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5000) // +Inf bucket
+	}
+	if v := h.Quantile(0.5); math.Abs(v-10) > 1e-9 {
+		t.Errorf("p50 = %v, want 10", v)
+	}
+	if v := h.Quantile(0.75); math.Abs(v-66.25) > 1e-9 {
+		t.Errorf("p75 = %v, want 66.25", v)
+	}
+	if v := h.Quantile(0.99); v != 1000 {
+		t.Errorf("p99 = %v, want clamp to top bound 1000", v)
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile != 0")
+	}
+}
+
+// TestQuantileSorted checks the exact-sample counterpart.
+func TestQuantileSorted(t *testing.T) {
+	if QuantileSorted(nil, 0.5) != 0 {
+		t.Error("empty sample quantile != 0")
+	}
+	s := []float64{1, 2, 3, 4, 5}
+	if v := QuantileSorted(s, 0); v != 1 {
+		t.Errorf("q0 = %v", v)
+	}
+	if v := QuantileSorted(s, 1); v != 5 {
+		t.Errorf("q1 = %v", v)
+	}
+	if v := QuantileSorted(s, 0.5); v != 3 {
+		t.Errorf("median = %v, want 3", v)
+	}
+	if v := QuantileSorted(s, 0.25); v != 2 {
+		t.Errorf("q25 = %v, want 2", v)
+	}
+}

@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the service-side structured logging component: a leveled,
+// nil-safe logger with deterministic text/JSON encodings, pre-bound
+// key/value fields (session, shard, workload, seed, ...), an injectable
+// clock for golden tests, and a rate-limit sampler for hot-path call
+// sites. Like every obs instrument it costs one branch when disabled:
+// all methods on a nil *Logger are no-ops, and Enabled lets hot paths
+// skip argument construction entirely.
+
+// LogLevel orders log severities, lowest first.
+type LogLevel int8
+
+// Log levels, in increasing severity.
+const (
+	LogDebug LogLevel = iota
+	LogInfo
+	LogWarn
+	LogError
+)
+
+// String names the level (stable: part of the log schema).
+func (l LogLevel) String() string {
+	switch l {
+	case LogDebug:
+		return "debug"
+	case LogInfo:
+		return "info"
+	case LogWarn:
+		return "warn"
+	case LogError:
+		return "error"
+	default:
+		return fmt.Sprintf("LogLevel(%d)", int(l))
+	}
+}
+
+// ParseLogLevel maps a -log-level flag value to a level.
+func ParseLogLevel(s string) (LogLevel, error) {
+	switch s {
+	case "debug":
+		return LogDebug, nil
+	case "info":
+		return LogInfo, nil
+	case "warn":
+		return LogWarn, nil
+	case "error":
+		return LogError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// LogFormat selects the line encoding.
+type LogFormat int8
+
+// Log formats.
+const (
+	// LogText renders ts=... level=... msg=... k=v lines (values quoted
+	// only when they contain spaces, quotes, or '=').
+	LogText LogFormat = iota
+	// LogJSON renders one JSON object per line with keys in insertion
+	// order: ts, level, msg, then bound fields, then call-site fields.
+	LogJSON
+)
+
+// ParseLogFormat maps a -log-format flag value to a format.
+func ParseLogFormat(s string) (LogFormat, error) {
+	switch s {
+	case "text":
+		return LogText, nil
+	case "json":
+		return LogJSON, nil
+	}
+	return 0, fmt.Errorf("unknown log format %q (want text|json)", s)
+}
+
+// logSink is the shared output side of a logger family: one writer, one
+// level gate, one clock. Child loggers created by With share it.
+type logSink struct {
+	mu     sync.Mutex
+	w      io.Writer
+	level  LogLevel
+	format LogFormat
+	now    func() time.Time
+	lines  atomic.Uint64
+}
+
+// logField is one pre-stringified key/value pair. raw values (numbers,
+// bools) render unquoted in JSON.
+type logField struct {
+	key string
+	val string
+	raw bool
+}
+
+// Logger is a leveled structured logger. The zero value is not usable;
+// build one with NewLogger. Nil-safe: every method on a nil *Logger is a
+// no-op, which is the disabled state — components carry a nil logger
+// unless one is attached, and pay one branch per call site.
+//
+// Encoding is deterministic: fields render in binding order, floats in
+// shortest round-trip form, and with an injected fixed clock two equal
+// call sequences produce byte-identical output.
+type Logger struct {
+	sink   *logSink
+	fields []logField
+}
+
+// NewLogger builds a logger emitting lines at or above level to w.
+func NewLogger(w io.Writer, level LogLevel, format LogFormat) *Logger {
+	return &Logger{sink: &logSink{w: w, level: level, format: format, now: time.Now}}
+}
+
+// WithClock replaces the timestamp source for the whole logger family
+// (tests). Returns the receiver for chaining; not safe to call
+// concurrently with logging.
+func (l *Logger) WithClock(now func() time.Time) *Logger {
+	if l != nil && now != nil {
+		l.sink.now = now
+	}
+	return l
+}
+
+// Lines returns how many lines the logger family has emitted (0 on nil).
+func (l *Logger) Lines() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.sink.lines.Load()
+}
+
+// Enabled reports whether a record at level would be emitted (false on
+// nil). Hot paths gate argument construction on it so a disabled or
+// filtered call site costs one branch and no allocations.
+func (l *Logger) Enabled(level LogLevel) bool {
+	return l != nil && level >= l.sink.level
+}
+
+// With returns a child logger whose lines carry the given key/value
+// pairs ahead of any call-site pairs. Values are stringified once, at
+// binding time. Nil-safe: With on a nil logger returns nil.
+func (l *Logger) With(kvs ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	fs := appendFields(nil, kvs)
+	if len(fs) == 0 {
+		return l
+	}
+	child := &Logger{sink: l.sink, fields: make([]logField, 0, len(l.fields)+len(fs))}
+	child.fields = append(child.fields, l.fields...)
+	child.fields = append(child.fields, fs...)
+	return child
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kvs ...any) { l.log(LogDebug, msg, kvs) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kvs ...any) { l.log(LogInfo, msg, kvs) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kvs ...any) { l.log(LogWarn, msg, kvs) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kvs ...any) { l.log(LogError, msg, kvs) }
+
+func (l *Logger) log(level LogLevel, msg string, kvs []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	fs := appendFields(nil, kvs)
+	buf := make([]byte, 0, 256)
+	ts := l.sink.now().UTC().Format(time.RFC3339Nano)
+	switch l.sink.format {
+	case LogJSON:
+		buf = append(buf, `{"ts":`...)
+		buf = appendJSONString(buf, ts)
+		buf = append(buf, `,"level":`...)
+		buf = appendJSONString(buf, level.String())
+		buf = append(buf, `,"msg":`...)
+		buf = appendJSONString(buf, msg)
+		for _, f := range l.fields {
+			buf = appendJSONField(buf, f)
+		}
+		for _, f := range fs {
+			buf = appendJSONField(buf, f)
+		}
+		buf = append(buf, '}', '\n')
+	default:
+		buf = append(buf, "ts="...)
+		buf = append(buf, ts...)
+		buf = append(buf, " level="...)
+		buf = append(buf, level.String()...)
+		buf = append(buf, " msg="...)
+		buf = appendTextValue(buf, msg)
+		for _, f := range l.fields {
+			buf = appendTextField(buf, f)
+		}
+		for _, f := range fs {
+			buf = appendTextField(buf, f)
+		}
+		buf = append(buf, '\n')
+	}
+	l.sink.mu.Lock()
+	_, _ = l.sink.w.Write(buf)
+	l.sink.mu.Unlock()
+	l.sink.lines.Add(1)
+}
+
+// appendFields stringifies alternating key/value pairs. A trailing
+// unpaired value is kept under the key "!BADKEY" rather than dropped.
+func appendFields(dst []logField, kvs []any) []logField {
+	for i := 0; i+1 < len(kvs); i += 2 {
+		key, ok := kvs[i].(string)
+		if !ok {
+			key = fmt.Sprint(kvs[i])
+		}
+		dst = append(dst, fieldFor(key, kvs[i+1]))
+	}
+	if len(kvs)%2 == 1 {
+		dst = append(dst, fieldFor("!BADKEY", kvs[len(kvs)-1]))
+	}
+	return dst
+}
+
+func fieldFor(key string, v any) logField {
+	switch x := v.(type) {
+	case string:
+		return logField{key: key, val: x}
+	case int:
+		return logField{key: key, val: strconv.Itoa(x), raw: true}
+	case int64:
+		return logField{key: key, val: strconv.FormatInt(x, 10), raw: true}
+	case uint:
+		return logField{key: key, val: strconv.FormatUint(uint64(x), 10), raw: true}
+	case uint64:
+		return logField{key: key, val: strconv.FormatUint(x, 10), raw: true}
+	case float64:
+		return logField{key: key, val: formatFloat(x), raw: true}
+	case bool:
+		return logField{key: key, val: strconv.FormatBool(x), raw: true}
+	case time.Duration:
+		return logField{key: key, val: x.String()}
+	case error:
+		if x == nil {
+			return logField{key: key, val: "<nil>"}
+		}
+		return logField{key: key, val: x.Error()}
+	case fmt.Stringer:
+		return logField{key: key, val: x.String()}
+	default:
+		return logField{key: key, val: fmt.Sprint(v)}
+	}
+}
+
+func appendJSONField(buf []byte, f logField) []byte {
+	buf = append(buf, ',')
+	buf = appendJSONString(buf, f.key)
+	buf = append(buf, ':')
+	if f.raw {
+		return append(buf, f.val...)
+	}
+	return appendJSONString(buf, f.val)
+}
+
+func appendTextField(buf []byte, f logField) []byte {
+	buf = append(buf, ' ')
+	buf = append(buf, f.key...)
+	buf = append(buf, '=')
+	return appendTextValue(buf, f.val)
+}
+
+// appendTextValue quotes values that would break key=value tokenizing.
+func appendTextValue(buf []byte, s string) []byte {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.AppendQuote(buf, s)
+	}
+	return append(buf, s...)
+}
+
+// appendJSONString appends s as a JSON string literal. Only the escapes
+// JSON requires: quote, backslash, and control characters; multi-byte
+// UTF-8 passes through verbatim.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			buf = append(buf, '\\', '"')
+		case c == '\\':
+			buf = append(buf, '\\', '\\')
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c == '\r':
+			buf = append(buf, '\\', 'r')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}
+
+// LogSampler rate-limits hot-path logging: Allow admits the first call
+// and every Nth thereafter. Safe for concurrent callers; a nil sampler
+// admits everything. Typical use gates a per-chunk debug line:
+//
+//	if lg.Enabled(obs.LogDebug) && sampler.Allow() { lg.Debug(...) }
+type LogSampler struct {
+	every uint64
+	n     atomic.Uint64
+}
+
+// NewLogSampler builds a sampler admitting one call in every (every<=1
+// admits all).
+func NewLogSampler(every uint64) *LogSampler {
+	if every == 0 {
+		every = 1
+	}
+	return &LogSampler{every: every}
+}
+
+// Allow reports whether this call is in the admitted sample.
+func (s *LogSampler) Allow() bool {
+	if s == nil {
+		return true
+	}
+	return (s.n.Add(1)-1)%s.every == 0
+}
+
+// Count returns how many calls Allow has seen (0 on nil).
+func (s *LogSampler) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.n.Load()
+}

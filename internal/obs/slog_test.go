@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2026, 8, 6, 1, 2, 3, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+// TestLoggerJSONGolden pins the JSON line schema byte-for-byte with a
+// fixed clock: ts, level, msg, bound fields, call-site fields, in order.
+func TestLoggerJSONGolden(t *testing.T) {
+	var sb strings.Builder
+	lg := NewLogger(&sb, LogDebug, LogJSON).WithClock(fixedClock())
+	lg.With("session", "s-00000001", "shard", 3).
+		Info("session created", "workload", "canneal", "seed", uint64(7), "rate", 0.25, "ok", true)
+	want := `{"ts":"2026-08-06T01:02:03Z","level":"info","msg":"session created",` +
+		`"session":"s-00000001","shard":3,"workload":"canneal","seed":7,"rate":0.25,"ok":true}` + "\n"
+	if sb.String() != want {
+		t.Errorf("line:\n got %q\nwant %q", sb.String(), want)
+	}
+	if lg.Lines() != 1 {
+		t.Errorf("Lines = %d, want 1", lg.Lines())
+	}
+}
+
+// TestLoggerTextGolden pins the text encoding and its quoting rule.
+func TestLoggerTextGolden(t *testing.T) {
+	var sb strings.Builder
+	lg := NewLogger(&sb, LogInfo, LogText).WithClock(fixedClock())
+	lg.Warn("replay failed", "session", "s-01", "error", "line 3: bad json", "applied", uint64(42))
+	want := `ts=2026-08-06T01:02:03Z level=warn msg="replay failed" session=s-01 ` +
+		`error="line 3: bad json" applied=42` + "\n"
+	if sb.String() != want {
+		t.Errorf("line:\n got %q\nwant %q", sb.String(), want)
+	}
+}
+
+// TestLoggerJSONEscaping feeds hostile values through the JSON encoder
+// and requires the output to be a valid JSON document that round-trips.
+func TestLoggerJSONEscaping(t *testing.T) {
+	var sb strings.Builder
+	lg := NewLogger(&sb, LogDebug, LogJSON).WithClock(fixedClock())
+	nasty := "a\"b\\c\nd\te\x01f é"
+	lg.Info(nasty, "path", nasty)
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%q", err, sb.String())
+	}
+	if doc["msg"] != nasty || doc["path"] != nasty {
+		t.Errorf("round trip lost data: msg=%q path=%q want %q", doc["msg"], doc["path"], nasty)
+	}
+}
+
+// TestLoggerLevelGate checks filtering and the Enabled fast path.
+func TestLoggerLevelGate(t *testing.T) {
+	var sb strings.Builder
+	lg := NewLogger(&sb, LogWarn, LogText)
+	lg.Debug("nope")
+	lg.Info("nope")
+	if sb.Len() != 0 || lg.Lines() != 0 {
+		t.Fatalf("below-level lines emitted: %q", sb.String())
+	}
+	if lg.Enabled(LogInfo) || !lg.Enabled(LogWarn) || !lg.Enabled(LogError) {
+		t.Error("Enabled gate wrong")
+	}
+	lg.Error("yes")
+	if lg.Lines() != 1 {
+		t.Errorf("Lines = %d, want 1", lg.Lines())
+	}
+}
+
+// TestLoggerNilSafe: the disabled state is a nil logger; everything must
+// be a no-op, including With chains.
+func TestLoggerNilSafe(t *testing.T) {
+	var lg *Logger
+	child := lg.With("k", "v").WithClock(fixedClock())
+	if child != nil {
+		t.Fatal("With on nil logger must return nil")
+	}
+	child.Info("ignored", "k", 1)
+	child.Debug("ignored")
+	if child.Enabled(LogError) {
+		t.Error("nil logger reports Enabled")
+	}
+	if child.Lines() != 0 {
+		t.Error("nil logger counts lines")
+	}
+}
+
+// TestLoggerBadPairs: non-string keys and odd argument counts degrade
+// gracefully instead of panicking or dropping data.
+func TestLoggerBadPairs(t *testing.T) {
+	var sb strings.Builder
+	lg := NewLogger(&sb, LogDebug, LogText).WithClock(fixedClock())
+	lg.Info("odd", "k1", 1, "dangling")
+	if !strings.Contains(sb.String(), "!BADKEY=dangling") {
+		t.Errorf("dangling value lost: %q", sb.String())
+	}
+}
+
+// TestLogSampler checks the admit-1-in-N contract and concurrency
+// safety of the counter.
+func TestLogSampler(t *testing.T) {
+	s := NewLogSampler(10)
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if s.Allow() {
+			admitted++
+		}
+	}
+	if admitted != 10 {
+		t.Errorf("admitted %d of 100 at 1-in-10, want 10", admitted)
+	}
+	if s.Count() != 100 {
+		t.Errorf("Count = %d, want 100", s.Count())
+	}
+
+	var nilSampler *LogSampler
+	if !nilSampler.Allow() {
+		t.Error("nil sampler must admit everything")
+	}
+
+	// Concurrent Allow must neither race nor lose counts.
+	s2 := NewLogSampler(7)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s2.Allow()
+			}
+		}()
+	}
+	wg.Wait()
+	if s2.Count() != 8000 {
+		t.Errorf("concurrent Count = %d, want 8000", s2.Count())
+	}
+}
+
+// TestParseLogFlags covers the flag parsers.
+func TestParseLogFlags(t *testing.T) {
+	for s, want := range map[string]LogLevel{
+		"debug": LogDebug, "info": LogInfo, "warn": LogWarn, "error": LogError,
+	} {
+		got, err := ParseLogLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted garbage")
+	}
+	if f, err := ParseLogFormat("json"); err != nil || f != LogJSON {
+		t.Errorf("ParseLogFormat(json) = %v, %v", f, err)
+	}
+	if _, err := ParseLogFormat("xml"); err == nil {
+		t.Error("ParseLogFormat accepted garbage")
+	}
+}

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the request-scoped span component of the service
+// observability layer: lightweight start/end spans with a parent link and
+// a free-form detail string, retained in a fixed ring for /debug/tracez,
+// summarized into per-stage latency histograms, and optionally forwarded
+// into the per-access ring Tracer as EvSpanEnd events.
+//
+// Unlike the single-run Tracer, a SpanTracer IS safe for concurrent use:
+// rmccd records spans from every HTTP handler goroutine and around every
+// shard-worker chunk. Completing a span is allocation-free (a mutex-guarded
+// index store into preallocated storage plus atomic histogram adds), so the
+// daemon's zero-alloc replay chunk path holds with spans enabled.
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	// ID is the span's unique ordinal (1-based, per tracer).
+	ID uint64
+	// Parent is the enclosing span's ID, or 0 for a root span.
+	Parent uint64
+	// Name is the stage name ("replay", "queue-wait", "engine-step", ...).
+	Name string
+	// Detail is free-form context (typically a session id or URL path).
+	Detail string
+	// Start is the span's start time in Unix nanoseconds.
+	Start int64
+	// Duration is the span's length in nanoseconds.
+	Duration int64
+}
+
+// spanStage is the per-stage summary hookup set by RegisterStage.
+type spanStage struct {
+	hist *Histogram
+	idx  uint64
+}
+
+// DefaultSpanCap is the default span ring capacity.
+const DefaultSpanCap = 4096
+
+// SpanTracer records completed spans into a fixed ring. Safe for
+// concurrent Start/End/Record/snapshot calls. Nil-safe: Start on a nil
+// tracer returns an inert Span, Record is a no-op — the disabled state.
+//
+// RegisterStage, AttachTracer, and SetClock configure the tracer and must
+// complete before concurrent use begins.
+type SpanTracer struct {
+	now    func() time.Time
+	ids    atomic.Uint64
+	stages map[string]spanStage
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next uint64
+	fwd  *Tracer
+}
+
+// NewSpanTracer builds a tracer retaining the newest capacity completed
+// spans (DefaultSpanCap when capacity <= 0).
+func NewSpanTracer(capacity int) *SpanTracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &SpanTracer{
+		now:    time.Now,
+		stages: make(map[string]spanStage),
+		ring:   make([]SpanRecord, capacity),
+	}
+}
+
+// SetClock replaces the time source (tests). Configuration-time only.
+func (t *SpanTracer) SetClock(now func() time.Time) {
+	if t != nil && now != nil {
+		t.now = now
+	}
+}
+
+// RegisterStage attaches a latency histogram (microsecond observations)
+// to spans named name and assigns the stage's event index (RegisterStage
+// call order) used in forwarded EvSpanEnd events. Configuration-time
+// only. Spans with unregistered names are still retained in the ring;
+// they just feed no histogram and carry index 0.
+func (t *SpanTracer) RegisterStage(name string, hist *Histogram) {
+	if t == nil {
+		return
+	}
+	t.stages[name] = spanStage{hist: hist, idx: uint64(len(t.stages))}
+}
+
+// AttachTracer forwards one EvSpanEnd event per completed span into tr.
+// The emit happens under the span tracer's mutex, so the single-run
+// Tracer's no-concurrent-emitters rule is upheld as long as tr has no
+// other emitters. Configuration-time only.
+func (t *SpanTracer) AttachTracer(tr *Tracer) {
+	if t != nil {
+		t.fwd = tr
+	}
+}
+
+// Start opens a span. parent is the enclosing span's ID (0 for roots).
+// The returned Span is a value — starting and ending a span allocates
+// nothing. On a nil tracer it returns an inert Span whose End is a no-op.
+func (t *SpanTracer) Start(name, detail string, parent uint64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{
+		t:      t,
+		id:     t.ids.Add(1),
+		parent: parent,
+		name:   name,
+		detail: detail,
+		start:  t.now().UnixNano(),
+	}
+}
+
+// Record logs an externally measured span (start in Unix nanoseconds) and
+// returns its ID — the path for stages whose boundaries were captured
+// elsewhere, like the shard pool's queue-wait/run timestamps. No-op
+// returning 0 on a nil tracer.
+func (t *SpanTracer) Record(name, detail string, parent uint64, startNS int64, d time.Duration) uint64 {
+	if t == nil {
+		return 0
+	}
+	if d < 0 {
+		d = 0
+	}
+	id := t.ids.Add(1)
+	t.record(SpanRecord{ID: id, Parent: parent, Name: name, Detail: detail, Start: startNS, Duration: int64(d)})
+	return id
+}
+
+func (t *SpanTracer) record(r SpanRecord) {
+	st := t.stages[r.Name]
+	us := uint64(r.Duration) / 1e3
+	st.hist.Observe(us) // nil-safe
+	t.mu.Lock()
+	t.ring[t.next%uint64(len(t.ring))] = r
+	t.next++
+	if t.fwd != nil {
+		t.fwd.Emit(EvSpanEnd, st.idx, us, r.ID)
+	}
+	t.mu.Unlock()
+}
+
+// Total returns the number of spans completed over the tracer's lifetime
+// (0 on nil).
+func (t *SpanTracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Len returns the number of spans currently retained (0 on nil).
+func (t *SpanTracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.ring)) {
+		return int(t.next)
+	}
+	return len(t.ring)
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (t *SpanTracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Spans returns the retained spans oldest-first (a copy; nil on nil).
+func (t *SpanTracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	retained := uint64(len(t.ring))
+	if n < retained {
+		retained = n
+	}
+	out := make([]SpanRecord, 0, retained)
+	for s := n - retained; s < n; s++ {
+		out = append(out, t.ring[s%uint64(len(t.ring))])
+	}
+	return out
+}
+
+// Slowest returns up to n retained spans by descending duration (ties
+// break on ascending ID) — the /debug/tracez view.
+func (t *SpanTracer) Slowest(n int) []SpanRecord {
+	all := t.Spans()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Duration != all[j].Duration {
+			return all[i].Duration > all[j].Duration
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Span is an open span handle. It is a value type: Start + End allocate
+// nothing. The zero Span is inert.
+type Span struct {
+	t      *SpanTracer
+	id     uint64
+	parent uint64
+	name   string
+	detail string
+	start  int64
+}
+
+// ID returns the span's ID for parent links (0 for an inert span).
+func (s Span) ID() uint64 { return s.id }
+
+// End completes the span, recording it into the ring, its stage
+// histogram, and the forwarded tracer. No-op on an inert span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := s.t.now().UnixNano() - s.start
+	if d < 0 {
+		d = 0
+	}
+	s.t.record(SpanRecord{ID: s.id, Parent: s.parent, Name: s.name, Detail: s.detail, Start: s.start, Duration: d})
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"rmcc/internal/obs"
+	"rmcc/internal/sim"
+	"rmcc/internal/workload"
+)
+
+// newAllocTestSession builds a server plus a shard-pinned session exactly
+// the way handleCreate does, bypassing HTTP.
+func newAllocTestSession(t *testing.T, cfg Config) (*Server, *session) {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	sc := SessionConfig{Mode: "rmcc", Scheme: "morphable", Seed: 1, Workload: "canneal", Size: "test"}
+	res, err := sc.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lt, err := sim.NewLifetimeChecked(res.name, res.footprint, res.ltCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &session{
+		id: "s-alloc", shard: 0, name: res.name, seed: res.seed,
+		lt: lt, w: res.w,
+		sampler:   obs.NewLogSampler(s.cfg.LogSampleEvery),
+		chunkHist: obs.NewHistogram(obs.Pow2Buckets(1, 24)),
+	}
+	sess.lg = s.log.With("session", sess.id, "shard", 0, "workload", res.name, "seed", res.seed)
+	return s, sess
+}
+
+// TestReplayChunkInstrumentationAllocFree is the benchmark guard for the
+// tentpole's zero-overhead constraint: with logging at error level and
+// spans recording (they always record), submitting a replay chunk must
+// allocate no more than the pre-instrumentation shard round-trip — one
+// closure escape plus one completion channel plus the escaping result
+// variables. The chunk size is 0 so the engine itself contributes nothing
+// and the measurement isolates the service-layer path.
+func TestReplayChunkInstrumentationAllocFree(t *testing.T) {
+	s, sess := newAllocTestSession(t, Config{
+		Shards: 1,
+		Logger: obs.NewLogger(io.Discard, obs.LogError, obs.LogText),
+	})
+	ctx := context.Background()
+
+	// Warm up: first chunk lazily creates the access stream.
+	if _, _, _, err := s.applyWorkloadChunk(ctx, sess, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	instrumented := testing.AllocsPerRun(200, func() {
+		if _, _, _, err := s.applyWorkloadChunk(ctx, sess, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Control: the pre-instrumentation chunk shape — same closure-captured
+	// result variables, untimed pool round-trip, no spans, no histograms.
+	control := testing.AllocsPerRun(200, func() {
+		var want, got, total uint64
+		var exhausted bool
+		err := s.pool.do(ctx, sess.shard, func() {
+			if sess.stream == nil {
+				w, seed := sess.w, sess.seed
+				sess.stream = sim.NewAccessStream(func(sink workload.Sink) { w.Run(seed, sink) })
+			}
+			for got < want {
+				a, ok := sess.stream.Next()
+				if !ok {
+					exhausted = true
+					break
+				}
+				sess.lt.Step(a)
+				got++
+			}
+			total = sess.lt.Accesses()
+		})
+		if err != nil || exhausted || got != total {
+			t.Fatal("control path misbehaved")
+		}
+	})
+
+	if instrumented > control {
+		t.Errorf("instrumented chunk path allocates %.1f/op, control %.1f/op — observability added allocations",
+			instrumented, control)
+	}
+	t.Logf("allocs/op: instrumented=%.1f control=%.1f", instrumented, control)
+}
+
+// TestRecordChunkAllocFree pins the span/histogram/sampled-log recording
+// itself at zero allocations when the logger filters debug lines.
+func TestRecordChunkAllocFree(t *testing.T) {
+	s, sess := newAllocTestSession(t, Config{
+		Shards: 1,
+		Logger: obs.NewLogger(io.Discard, obs.LogError, obs.LogText),
+	})
+	jt := jobTimes{startNS: 1_000, endNS: 51_000}
+	allocs := testing.AllocsPerRun(500, func() {
+		s.recordChunk(sess, 7, 0, jt, 4096)
+	})
+	if allocs != 0 {
+		t.Errorf("recordChunk allocates %.1f/op with observability disabled, want 0", allocs)
+	}
+}

@@ -210,6 +210,9 @@ func DecodeAccess(line []byte) (workload.Access, error) {
 }
 
 // SessionInfo describes one live session (create response, listings).
+// The rate and latency fields are live lock-free mirrors refreshed after
+// each applied replay chunk — the data rmcc-top renders without touching
+// the engine or taking the replay lease.
 type SessionInfo struct {
 	ID             string `json:"id"`
 	Shard          int    `json:"shard"`
@@ -223,6 +226,15 @@ type SessionInfo struct {
 	Accesses       uint64 `json:"accesses"`
 	Replaying      bool   `json:"replaying"`
 	ConfigHash     string `json:"config_hash"`
+
+	// Live engine rates as of the last applied chunk (0 until then).
+	CtrMissRate         float64 `json:"ctr_miss_rate"`
+	MemoHitRateOnMisses float64 `json:"memo_hit_rate_on_misses"`
+	AcceleratedRate     float64 `json:"accelerated_rate"`
+	// Per-chunk engine-step latency quantiles in microseconds, estimated
+	// from the session's bucketed history (0 until a chunk applies).
+	ReplayP50us float64 `json:"replay_p50_us"`
+	ReplayP99us float64 `json:"replay_p99_us"`
 }
 
 // ReplayStats is the rolled-up result of a replay (and the stats half of

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"time"
+
+	"rmcc/internal/buildinfo"
+	"rmcc/internal/obs"
+)
+
+// DebugHandler returns the daemon's debug surface — /statusz,
+// /debug/tracez, and the net/http/pprof family — as a separate handler so
+// cmd/rmccd can bind it to its own (typically loopback-only) listener,
+// gated by -debug-addr. None of it is mounted on the service mux: the
+// production API surface stays closed by default.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("GET /debug/tracez", s.handleTracez)
+	// Explicit pprof registration; pprof.Index serves the named profiles
+	// (heap, goroutine, ...) under /debug/pprof/<name> itself.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StatuszInfo is the GET /statusz body: a one-page operational summary of
+// the daemon.
+type StatuszInfo struct {
+	Version       string  `json:"version"`
+	Revision      string  `json:"revision"`
+	GoVersion     string  `json:"go_version"`
+	StartedAt     string  `json:"started_at"` // RFC 3339 UTC
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	Shards        int   `json:"shards"`
+	QueueDepths   []int `json:"queue_depths"`
+	ChunkAccesses int   `json:"chunk_accesses"`
+
+	Sessions    int `json:"sessions"`
+	MaxSessions int `json:"max_sessions"`
+	// ShardOccupancy counts live sessions per shard.
+	ShardOccupancy []int `json:"shard_occupancy"`
+
+	SpansTotal    uint64 `json:"spans_total"`
+	LogLines      uint64 `json:"log_lines"`
+	NumGoroutines int    `json:"num_goroutines"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	now := s.cfg.Now()
+	info := StatuszInfo{
+		Version:       buildinfo.Version(),
+		Revision:      buildinfo.GitSHA(),
+		GoVersion:     runtime.Version(),
+		StartedAt:     s.started.UTC().Format(time.RFC3339),
+		UptimeSeconds: now.Sub(s.started).Seconds(),
+		Draining:      s.draining.Load(),
+		Shards:        s.cfg.Shards,
+		QueueDepths:   make([]int, s.cfg.Shards),
+		ChunkAccesses: s.cfg.ChunkAccesses,
+		MaxSessions:   s.cfg.MaxSessions,
+		SpansTotal:    s.spans.Total(),
+		LogLines:      s.log.Lines(),
+		NumGoroutines: runtime.NumGoroutine(),
+	}
+	for i := range info.QueueDepths {
+		info.QueueDepths[i] = s.pool.queueLen(i)
+	}
+	occ := make([]int, s.cfg.Shards)
+	s.mu.Lock()
+	info.Sessions = len(s.sessions)
+	for _, sess := range s.sessions {
+		occ[sess.shard]++
+	}
+	s.mu.Unlock()
+	info.ShardOccupancy = occ
+	writeJSON(w, http.StatusOK, info)
+}
+
+// TracezSpan is one span in the GET /debug/tracez body, with durations
+// rendered in microseconds for human and rmcc-top consumption.
+type TracezSpan struct {
+	ID         uint64 `json:"id"`
+	Parent     uint64 `json:"parent,omitempty"`
+	Name       string `json:"name"`
+	Detail     string `json:"detail,omitempty"`
+	Start      string `json:"start"` // RFC 3339 UTC, nanosecond precision
+	DurationUS uint64 `json:"duration_us"`
+}
+
+// TracezResponse is the GET /debug/tracez body.
+type TracezResponse struct {
+	TotalSpans uint64       `json:"total_spans"`
+	Retained   int          `json:"retained"`
+	Slowest    []TracezSpan `json:"slowest"`
+}
+
+// handleTracez reports the slowest retained spans (?n=, default 25) —
+// the live "where did the time go" view over recent requests and chunks.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	n := 25
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := parseUint(raw)
+		if err != nil || v == 0 || v > 10_000 {
+			writeError(w, http.StatusBadRequest, "n must be in [1, 10000]")
+			return
+		}
+		n = int(v)
+	}
+	slow := s.spans.Slowest(n)
+	resp := TracezResponse{
+		TotalSpans: s.spans.Total(),
+		Retained:   s.spans.Len(),
+		Slowest:    make([]TracezSpan, 0, len(slow)),
+	}
+	for _, sp := range slow {
+		resp.Slowest = append(resp.Slowest, TracezSpan{
+			ID:         sp.ID,
+			Parent:     sp.Parent,
+			Name:       sp.Name,
+			Detail:     sp.Detail,
+			Start:      time.Unix(0, sp.Start).UTC().Format(time.RFC3339Nano),
+			DurationUS: uint64(sp.Duration) / 1e3,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Spans exposes the daemon's span tracer (tests, embedding).
+func (s *Server) Spans() *obs.SpanTracer { return s.spans }
+
+// SlowestSpanNames is a test helper: the distinct names among the n
+// slowest spans, sorted.
+func (s *Server) SlowestSpanNames(n int) []string {
+	seen := map[string]bool{}
+	for _, sp := range s.spans.Slowest(n) {
+		seen[sp.Name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"rmcc/internal/obs"
+)
+
+// spanCtxKey carries the request span's ID through the request context so
+// handler-level spans (replay, chunk stages) can parent under it.
+type spanCtxKey struct{}
+
+// parentSpan returns the enclosing request span ID (0 when uninstrumented,
+// e.g. direct handler calls in tests).
+func parentSpan(ctx context.Context) uint64 {
+	id, _ := ctx.Value(spanCtxKey{}).(uint64)
+	return id
+}
+
+// instrument wraps a handler with per-endpoint SLO accounting: a request
+// span (ring + /debug/tracez), a latency histogram, and outcome-class
+// counters. healthz and metrics are counted but not span-traced — poller
+// traffic would drown the span ring in no-ops.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	const durHelp = "request latency in microseconds, by endpoint"
+	const cntHelp = "requests served, by endpoint and status class"
+	hist := s.reg.Histogram("rmccd_request_duration_us", durHelp,
+		obs.Pow2Buckets(1, 24), obs.L("endpoint", endpoint))
+	classes := map[string]*obs.Counter{}
+	for _, class := range []string{"2xx", "4xx", "5xx"} {
+		classes[class] = s.reg.Counter("rmccd_requests_total", cntHelp,
+			obs.L("class", class), obs.L("endpoint", endpoint))
+	}
+	traced := endpoint != "healthz" && endpoint != "metrics"
+	return func(w http.ResponseWriter, r *http.Request) {
+		var span obs.Span
+		if traced {
+			span = s.spans.Start("http."+endpoint, r.URL.Path, 0)
+			r = r.WithContext(context.WithValue(r.Context(), spanCtxKey{}, span.ID()))
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		hist.Observe(uint64(time.Since(start).Microseconds()))
+		if c := classes[classOf(sw.code)]; c != nil {
+			c.Inc()
+		}
+		if traced {
+			span.End()
+		}
+	}
+}
+
+// classOf buckets a status code into the counter classes.
+func classOf(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	default:
+		return "2xx"
+	}
+}
+
+// statusWriter captures the response status for outcome counters while
+// passing Flush through — replay progress streaming depends on the
+// Flusher check inside replayWriter still finding one.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

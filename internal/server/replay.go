@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"rmcc/internal/obs"
 	"rmcc/internal/sim"
 	"rmcc/internal/workload"
 )
@@ -26,6 +27,13 @@ import (
 // finishes with a result (or error) frame; without it the response is one
 // JSON ReplayStats document. Cancellation is chunk-granular: a dropped
 // client connection or the shutdown drain deadline aborts mid-stream.
+//
+// Every replay runs under a span parented to the request span; each
+// applied chunk records queue-wait and engine-step stage spans (from the
+// shard pool's worker timestamps) and each written progress/result frame
+// an encode span. The per-chunk path stays allocation-free: stage
+// recording is ring writes plus atomic histogram adds, and the sampled
+// debug log line is gated on Enabled before its arguments exist.
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server draining")
@@ -89,14 +97,17 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.forceCtx, cancel)
 	defer stop()
 
+	rsp := s.spans.Start("replay", sess.id, parentSpan(r.Context()))
+	defer rsp.End()
+
 	rw := &replayWriter{w: w, every: progressEvery}
 	start := time.Now()
 	var applied uint64
 	var err error
 	if useWorkload {
-		applied, err = s.replayWorkload(ctx, sess, accesses, rw)
+		applied, err = s.replayWorkload(ctx, sess, accesses, rw, rsp.ID())
 	} else {
-		applied, err = s.replayNDJSON(ctx, sess, r, rw)
+		applied, err = s.replayNDJSON(ctx, sess, r, rw, rsp.ID())
 	}
 	s.mReplayAccesses.Add(applied)
 	s.mReplaySizes.Observe(applied)
@@ -107,6 +118,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.As(err, &badInput):
 			s.mReplaysErr.Inc()
+			sess.lg.Warn("replay rejected", "applied", applied, "error", err)
 			rw.fail(http.StatusBadRequest, err.Error())
 		case ctx.Err() != nil:
 			s.mReplaysCancel.Inc()
@@ -114,9 +126,11 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			if s.forceCtx.Err() != nil {
 				reason = "replay aborted: drain deadline expired"
 			}
+			sess.lg.Info("replay cancelled", "applied", applied, "reason", reason)
 			rw.fail(http.StatusServiceUnavailable, reason)
 		default:
 			s.mReplaysErr.Inc()
+			sess.lg.Error("replay failed", "applied", applied, "error", err)
 			rw.fail(http.StatusInternalServerError, err.Error())
 		}
 		return
@@ -125,19 +139,78 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	var res sim.LifetimeResult
 	if perr := s.pool.do(ctx, sess.shard, func() { res = sess.lt.Result() }); perr != nil {
 		s.mReplaysCancel.Inc()
+		sess.lg.Info("replay cancelled", "applied", applied, "reason", "cancelled before stats rollup")
 		rw.fail(http.StatusServiceUnavailable, "replay cancelled before stats rollup")
 		return
 	}
 	s.mReplaysOK.Inc()
 	stats := statsFromResult(sess.id, sess.seed, res)
 	stats.WallSeconds = time.Since(start).Seconds()
+	encStart := time.Now()
 	rw.result(stats)
-	s.cfg.Logf("rmccd: session %s replayed %d accesses in %.2fs", sess.id, applied, stats.WallSeconds)
+	s.spans.Record(stageEncode, sess.id, rsp.ID(), encStart.UnixNano(), time.Since(encStart))
+	sess.lg.Info("replay complete", "accesses", applied,
+		"total_accesses", res.Accesses, "wall_seconds", stats.WallSeconds)
+}
+
+// applyWorkloadChunk runs fn-equivalent chunk work on the session's shard
+// and records its queue-wait and engine-step stage spans under parent.
+// This is THE hot service-layer path — one call per ChunkAccesses — and
+// its per-call allocations are capped at the untimed PR-4 profile (one
+// closure + one completion channel), enforced by
+// TestReplayChunkInstrumentationAllocFree.
+func (s *Server) applyWorkloadChunk(ctx context.Context, sess *session, want uint64, parent uint64) (got, total uint64, exhausted bool, err error) {
+	s.mEnqueueDepth.Observe(uint64(s.pool.queueLen(sess.shard)))
+	submit := time.Now().UnixNano()
+	jt, err := s.pool.doTimed(ctx, sess.shard, func() {
+		if sess.stream == nil {
+			w, seed := sess.w, sess.seed
+			sess.stream = sim.NewAccessStream(func(sink workload.Sink) { w.Run(seed, sink) })
+		}
+		for got < want {
+			if got%512 == 511 && ctx.Err() != nil {
+				break
+			}
+			a, ok := sess.stream.Next()
+			if !ok {
+				exhausted = true
+				break
+			}
+			sess.lt.Step(a)
+			got++
+		}
+		total = sess.lt.Accesses()
+		// Refresh the lock-free rate mirrors on the shard goroutine (the
+		// only place engine state may be read). Capturing a stats struct
+		// into the submitter's frame instead would add an escaping heap
+		// variable per chunk; the atomic stores keep the path alloc-free.
+		sess.storeRates(sess.lt.MC().Stats())
+	})
+	if err != nil {
+		return got, total, exhausted, err
+	}
+	s.recordChunk(sess, parent, submit, jt, got)
+	return got, total, exhausted, nil
+}
+
+// recordChunk emits the queue-wait and engine-step stage spans for one
+// applied chunk, feeds the session's latency history, and (sampled, debug
+// level only) logs the chunk. Allocation-free when the logger is disabled
+// or filtered.
+func (s *Server) recordChunk(sess *session, parent uint64, submitNS int64, jt jobTimes, got uint64) {
+	s.spans.Record(stageQueueWait, sess.id, parent, submitNS, time.Duration(jt.startNS-submitNS))
+	s.spans.Record(stageEngine, sess.id, parent, jt.startNS, time.Duration(jt.endNS-jt.startNS))
+	stepUS := uint64(jt.endNS-jt.startNS) / 1e3
+	sess.chunkHist.Observe(stepUS)
+	if sess.lg.Enabled(obs.LogDebug) && sess.sampler.Allow() {
+		sess.lg.Debug("chunk applied", "accesses", got, "engine_step_us", stepUS,
+			"queue_wait_us", uint64(jt.startNS-submitNS)/1e3)
+	}
 }
 
 // replayWorkload steps the bound generator for n accesses in shard-owned
 // chunks.
-func (s *Server) replayWorkload(ctx context.Context, sess *session, n uint64, rw *replayWriter) (uint64, error) {
+func (s *Server) replayWorkload(ctx context.Context, sess *session, n uint64, rw *replayWriter, parent uint64) (uint64, error) {
 	var applied uint64
 	for applied < n {
 		if err := ctx.Err(); err != nil {
@@ -147,34 +220,14 @@ func (s *Server) replayWorkload(ctx context.Context, sess *session, n uint64, rw
 		if rem := n - applied; rem < want {
 			want = rem
 		}
-		var got, total uint64
-		var exhausted bool
-		err := s.pool.do(ctx, sess.shard, func() {
-			if sess.stream == nil {
-				w, seed := sess.w, sess.seed
-				sess.stream = sim.NewAccessStream(func(sink workload.Sink) { w.Run(seed, sink) })
-			}
-			for got < want {
-				if got%512 == 511 && ctx.Err() != nil {
-					break
-				}
-				a, ok := sess.stream.Next()
-				if !ok {
-					exhausted = true
-					break
-				}
-				sess.lt.Step(a)
-				got++
-			}
-			total = sess.lt.Accesses()
-		})
+		got, total, exhausted, err := s.applyWorkloadChunk(ctx, sess, want, parent)
 		if err != nil {
 			return applied, err
 		}
 		applied += got
 		sess.accessesDone.Store(total)
 		sess.touch(s.cfg.Now())
-		if err := rw.progress(applied); err != nil {
+		if err := s.emitProgress(rw, sess, parent, applied); err != nil {
 			return applied, err
 		}
 		if exhausted {
@@ -184,12 +237,24 @@ func (s *Server) replayWorkload(ctx context.Context, sess *session, n uint64, rw
 	return applied, nil
 }
 
+// emitProgress forwards to the replay writer and wraps any written frame
+// in an encode stage span. The no-frame case (threshold not crossed, or
+// no ?progress at all) costs two time reads and no allocation.
+func (s *Server) emitProgress(rw *replayWriter, sess *session, parent uint64, applied uint64) error {
+	start := time.Now()
+	wrote, err := rw.progress(applied)
+	if wrote {
+		s.spans.Record(stageEncode, sess.id, parent, start.UnixNano(), time.Since(start))
+	}
+	return err
+}
+
 // replayNDJSON decodes the request body line-by-line and applies it in
 // chunks. Decoding happens on the handler goroutine; only the validated
 // batch crosses into the shard, so malformed input can never panic a
 // worker. Because each chunk is applied before more input is read, a slow
 // simulation backpressures the upload through the unread TCP window.
-func (s *Server) replayNDJSON(ctx context.Context, sess *session, r *http.Request, rw *replayWriter) (uint64, error) {
+func (s *Server) replayNDJSON(ctx context.Context, sess *session, r *http.Request, rw *replayWriter, parent uint64) (uint64, error) {
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), s.cfg.MaxLineBytes)
 	batch := make([]workload.Access, 0, s.cfg.ChunkAccesses)
@@ -200,8 +265,10 @@ func (s *Server) replayNDJSON(ctx context.Context, sess *session, r *http.Reques
 		if len(batch) == 0 {
 			return nil
 		}
+		s.mEnqueueDepth.Observe(uint64(s.pool.queueLen(sess.shard)))
 		var total uint64
-		err := s.pool.do(ctx, sess.shard, func() {
+		submit := time.Now().UnixNano()
+		jt, err := s.pool.doTimed(ctx, sess.shard, func() {
 			for i, a := range batch {
 				if i%512 == 511 && ctx.Err() != nil {
 					batch = batch[:i]
@@ -210,15 +277,17 @@ func (s *Server) replayNDJSON(ctx context.Context, sess *session, r *http.Reques
 				sess.lt.Step(a)
 			}
 			total = sess.lt.Accesses()
+			sess.storeRates(sess.lt.MC().Stats())
 		})
 		if err != nil {
 			return err
 		}
+		s.recordChunk(sess, parent, submit, jt, uint64(len(batch)))
 		applied += uint64(len(batch))
 		batch = batch[:0]
 		sess.accessesDone.Store(total)
 		sess.touch(s.cfg.Now())
-		return rw.progress(applied)
+		return s.emitProgress(rw, sess, parent, applied)
 	}
 
 	for sc.Scan() {
@@ -289,19 +358,21 @@ func (rw *replayWriter) writeFrame(f ReplayFrame) error {
 }
 
 // progress emits a frame when the applied count crosses the next
-// threshold; a no-op without ?progress.
-func (rw *replayWriter) progress(applied uint64) error {
+// threshold; a no-op without ?progress. wrote reports whether a frame
+// actually went out (so callers attribute encode time only to real
+// frames).
+func (rw *replayWriter) progress(applied uint64) (wrote bool, err error) {
 	if rw.every == 0 {
-		return nil
+		return false, nil
 	}
 	if rw.nextAt == 0 {
 		rw.nextAt = rw.every
 	}
 	if applied < rw.nextAt {
-		return nil
+		return false, nil
 	}
 	rw.nextAt = applied + rw.every
-	return rw.writeFrame(ReplayFrame{Type: "progress", Accesses: applied})
+	return true, rw.writeFrame(ReplayFrame{Type: "progress", Accesses: applied})
 }
 
 func (rw *replayWriter) result(stats ReplayStats) {

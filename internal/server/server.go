@@ -48,8 +48,16 @@ type Config struct {
 
 	// Now is the clock, injectable for TTL tests (default time.Now).
 	Now func() time.Time
-	// Logf receives operational log lines (default: discard).
-	Logf func(format string, args ...any)
+	// Logger receives structured operational logs. Nil disables logging
+	// entirely (the default): every call site pays one branch.
+	Logger *obs.Logger
+	// SpanRing caps the retained-span ring behind /debug/tracez
+	// (default obs.DefaultSpanCap). Spans are always recorded — completing
+	// one is allocation-free — so the ring is never disabled, only sized.
+	SpanRing int
+	// LogSampleEvery admits one per-chunk debug log line in every N
+	// (default 64); chunk lines only exist at -log-level debug.
+	LogSampleEvery uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -80,8 +88,8 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.LogSampleEvery == 0 {
+		c.LogSampleEvery = 64
 	}
 	return c
 }
@@ -90,10 +98,14 @@ func (c Config) withDefaults() Config {
 // ServeHTTP/Handler, stop with BeginDrain + Close (see cmd/rmccd for the
 // full graceful-shutdown sequence).
 type Server struct {
-	cfg  Config
-	pool *shardPool
-	mux  *http.ServeMux
-	reg  *obs.Registry
+	cfg     Config
+	pool    *shardPool
+	mux     *http.ServeMux
+	reg     *obs.Registry
+	log     *obs.Logger
+	spans   *obs.SpanTracer
+	trace   *obs.Tracer
+	started time.Time
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -117,6 +129,13 @@ type Server struct {
 	mReplaysCancel   *obs.Counter
 	mReplayAccesses  *obs.Counter
 	mReplaySizes     *obs.Histogram
+
+	// Per-stage replay latency (µs): queue-wait, engine-step, encode.
+	mStageQueueWait *obs.Histogram
+	mStageEngine    *obs.Histogram
+	mStageEncode    *obs.Histogram
+	// Shard queue depth observed at each chunk enqueue.
+	mEnqueueDepth *obs.Histogram
 }
 
 // New builds a server and starts its shard pool and TTL janitor.
@@ -125,16 +144,34 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:         cfg,
 		pool:        newShardPool(cfg.Shards, cfg.QueueDepth),
+		log:         cfg.Logger,
+		spans:       obs.NewSpanTracer(cfg.SpanRing),
+		trace:       obs.NewTracer(cfg.SpanRing),
+		started:     cfg.Now(),
 		sessions:    make(map[string]*session),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
 	s.initMetrics()
+	// Spans feed their stage histograms and mirror into the ring tracer
+	// as EvSpanEnd events (the tracer is only emitted into under the span
+	// tracer's lock, upholding its single-emitter rule).
+	s.spans.RegisterStage(stageQueueWait, s.mStageQueueWait)
+	s.spans.RegisterStage(stageEngine, s.mStageEngine)
+	s.spans.RegisterStage(stageEncode, s.mStageEncode)
+	s.spans.AttachTracer(s.trace)
 	s.initRoutes()
 	go s.janitor()
 	return s
 }
+
+// Span stage names (the "stage" label on rmccd_replay_stage_duration_us).
+const (
+	stageQueueWait = "queue-wait"
+	stageEngine    = "engine-step"
+	stageEncode    = "encode"
+)
 
 func (s *Server) initMetrics() {
 	s.reg = obs.NewRegistry()
@@ -170,17 +207,35 @@ func (s *Server) initMetrics() {
 		"constant 1, labeled with the daemon build version and revision",
 		func() float64 { return 1 },
 		obs.L("revision", buildinfo.GitSHA()), obs.L("version", buildinfo.Version()))
+
+	stageBuckets := obs.Pow2Buckets(1, 24) // 2µs .. ~16.8s
+	const stageHelp = "per-stage replay latency in microseconds"
+	s.mStageQueueWait = s.reg.Histogram("rmccd_replay_stage_duration_us",
+		stageHelp, stageBuckets, obs.L("stage", stageQueueWait))
+	s.mStageEngine = s.reg.Histogram("rmccd_replay_stage_duration_us",
+		stageHelp, stageBuckets, obs.L("stage", stageEngine))
+	s.mStageEncode = s.reg.Histogram("rmccd_replay_stage_duration_us",
+		stageHelp, stageBuckets, obs.L("stage", stageEncode))
+	s.mEnqueueDepth = s.reg.Histogram("rmccd_queue_depth_at_enqueue",
+		"shard queue depth observed when a replay chunk was submitted",
+		obs.Pow2Buckets(0, 10))
+	s.reg.GaugeFunc("rmccd_uptime_seconds", "seconds since the daemon started",
+		func() float64 { return s.cfg.Now().Sub(s.started).Seconds() })
+	s.reg.CounterFunc("rmccd_spans_total", "service-layer spans completed",
+		func() uint64 { return s.spans.Total() })
+	s.reg.CounterFunc("rmccd_log_lines_total", "structured log lines emitted",
+		func() uint64 { return s.log.Lines() })
 }
 
 func (s *Server) initRoutes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/replay", s.handleReplay)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/sessions", s.instrument("create", s.handleCreate))
+	s.mux.HandleFunc("GET /v1/sessions", s.instrument("list", s.handleList))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/replay", s.instrument("replay", s.handleReplay))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 }
 
 // Handler returns the routed handler.
@@ -261,7 +316,7 @@ func (s *Server) Sweep(now time.Time) int {
 	s.mu.Unlock()
 	n := 0
 	for _, sess := range idle {
-		if s.evict(sess, s.mEvictedTTL) {
+		if s.evict(sess, s.mEvictedTTL, "ttl") {
 			n++
 		}
 	}
@@ -270,7 +325,7 @@ func (s *Server) Sweep(now time.Time) int {
 
 // evict removes a session unless a replay holds it. The CAS ordering
 // pairs with session.acquire (see its comment).
-func (s *Server) evict(sess *session, reason *obs.Counter) bool {
+func (s *Server) evict(sess *session, ctr *obs.Counter, reason string) bool {
 	if !sess.evicted.CompareAndSwap(false, true) {
 		return false
 	}
@@ -284,8 +339,9 @@ func (s *Server) evict(sess *session, reason *obs.Counter) bool {
 	if sess.stream != nil {
 		sess.stream.Close()
 	}
-	reason.Inc()
-	s.cfg.Logf("rmccd: evicted session %s (%s)", sess.id, sess.name)
+	ctr.Inc()
+	sess.lg.Info("session evicted",
+		"reason", reason, "accesses", sess.accessesDone.Load())
 	return true
 }
 
@@ -341,7 +397,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		footprint: res.footprint,
 		lt:        lt,
 		w:         res.w,
+		sampler:   obs.NewLogSampler(s.cfg.LogSampleEvery),
+		chunkHist: obs.NewHistogram(obs.Pow2Buckets(1, 24)),
 	}
+	// The session logger carries the request-scoped identity fields every
+	// later line needs (per-session/request fields are bound once here).
+	sess.lg = s.log.With("session", id, "shard", sess.shard,
+		"workload", res.name, "seed", res.seed)
 	sess.touch(now)
 
 	s.mu.Lock()
@@ -354,7 +416,9 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	s.mSessionsCreated.Inc()
-	s.cfg.Logf("rmccd: created session %s (%s, shard %d)", id, sess.name, sess.shard)
+	sess.lg.Info("session created",
+		"mode", sess.mode, "scheme", sess.scheme,
+		"footprint_bytes", sess.footprint, "config_hash", sess.cfgHash)
 	writeJSON(w, http.StatusCreated, sess.info(0))
 }
 
@@ -375,7 +439,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
-	if !s.evict(sess, s.mEvictedAPI) {
+	if !s.evict(sess, s.mEvictedAPI, "api") {
 		writeError(w, http.StatusConflict, "session busy (replay in flight)")
 		return
 	}
@@ -443,7 +507,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WritePrometheus(w); err != nil {
-		s.cfg.Logf("rmccd: write metrics: %v", err)
+		s.log.Warn("write metrics failed", "error", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package server_test
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"rmcc/internal/obs"
 	"rmcc/internal/secmem/counter"
 	"rmcc/internal/secmem/engine"
 	"rmcc/internal/server"
@@ -100,10 +102,15 @@ func TestSessionLifecycle(t *testing.T) {
 // TestServiceMatchesDirectRun is the no-drift acceptance criterion: a
 // replay through the daemon produces stats bit-identical to RunLifetime
 // over the same seed and workload — via the server-side generator AND via
-// NDJSON streaming of the same accesses.
+// NDJSON streaming of the same accesses. The daemon runs with the full
+// observability stack enabled (debug-level JSON logging plus the
+// always-on span recording), proving instrumentation cannot perturb
+// simulation results.
 func TestServiceMatchesDirectRun(t *testing.T) {
 	const n = 20_000
-	_, c := newTestServer(t, server.Config{})
+	_, c := newTestServer(t, server.Config{
+		Logger: obs.NewLogger(io.Discard, obs.LogDebug, obs.LogJSON),
+	})
 	ctx := context.Background()
 
 	w, ok := workload.ByName(workload.SizeTest, 1, "canneal")

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
 
+	"rmcc/internal/obs"
+	"rmcc/internal/secmem/engine"
 	"rmcc/internal/sim"
 	"rmcc/internal/workload"
 )
@@ -32,15 +35,41 @@ type session struct {
 	// deterministic stream. Closed at eviction.
 	stream *sim.AccessStream
 
+	// lg carries the session's bound log fields (session, shard, workload,
+	// seed). Nil when the server has no logger attached.
+	lg *obs.Logger
+	// sampler rate-limits per-chunk debug lines so a debug-level daemon
+	// under a large replay does not write one line per 4096 accesses.
+	sampler *obs.LogSampler
+	// chunkHist tracks per-chunk engine-step latency in microseconds. It
+	// is a standalone histogram (one per session would flood the registry)
+	// surfaced as p50/p99 in SessionInfo listings for rmcc-top.
+	chunkHist *obs.Histogram
+
 	lastUsed atomic.Int64 // unix nanos
 	// accessesDone mirrors lt.Accesses() for lock-free listings; updated
 	// after each shard-applied chunk.
 	accessesDone atomic.Uint64
 	replaying    atomic.Bool // exclusive replay/snapshot-modifying lease
 	evicted      atomic.Bool
+
+	// Live engine-rate mirrors (float64 bits), refreshed on the shard
+	// goroutine after each applied chunk so listings never touch the
+	// engine off-shard.
+	rCtrMiss atomic.Uint64
+	rMemoHit atomic.Uint64
+	rAccel   atomic.Uint64
 }
 
 func (s *session) touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
+
+// storeRates refreshes the lock-free rate mirrors from an engine stats
+// copy taken on the shard goroutine.
+func (s *session) storeRates(st engine.Stats) {
+	s.rCtrMiss.Store(math.Float64bits(st.CtrMissRate()))
+	s.rMemoHit.Store(math.Float64bits(st.MemoHitRateOnMisses()))
+	s.rAccel.Store(math.Float64bits(st.AcceleratedRate()))
+}
 
 // acquire takes the exclusive replay lease, refusing sessions that are
 // busy or already evicted. The CAS-then-check-other-flag ordering pairs
@@ -66,17 +95,22 @@ func (s *session) info(accesses uint64) SessionInfo {
 		wl = s.w.Name()
 	}
 	return SessionInfo{
-		ID:             s.id,
-		Shard:          s.shard,
-		Name:           s.name,
-		Workload:       wl,
-		Mode:           s.mode,
-		Scheme:         s.scheme,
-		Seed:           s.seed,
-		FootprintBytes: s.footprint,
-		Created:        s.created.UTC().Format(time.RFC3339),
-		Accesses:       accesses,
-		Replaying:      s.replaying.Load(),
-		ConfigHash:     s.cfgHash,
+		ID:                  s.id,
+		Shard:               s.shard,
+		Name:                s.name,
+		Workload:            wl,
+		Mode:                s.mode,
+		Scheme:              s.scheme,
+		Seed:                s.seed,
+		FootprintBytes:      s.footprint,
+		Created:             s.created.UTC().Format(time.RFC3339),
+		Accesses:            accesses,
+		Replaying:           s.replaying.Load(),
+		ConfigHash:          s.cfgHash,
+		CtrMissRate:         math.Float64frombits(s.rCtrMiss.Load()),
+		MemoHitRateOnMisses: math.Float64frombits(s.rMemoHit.Load()),
+		AcceleratedRate:     math.Float64frombits(s.rAccel.Load()),
+		ReplayP50us:         s.chunkHist.Quantile(0.5),
+		ReplayP99us:         s.chunkHist.Quantile(0.99),
 	}
 }

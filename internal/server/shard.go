@@ -4,13 +4,23 @@ import (
 	"context"
 	"hash/fnv"
 	"sync"
+	"time"
 )
 
+// jobTimes carries the worker-side timestamps of one job: when the worker
+// dequeued it and when fn returned. The submitter derives queue-wait
+// (start - submit) and run time (end - start) from them.
+type jobTimes struct {
+	startNS, endNS int64
+}
+
 // shardJob is one unit of serialized simulator work: run executes on the
-// owning shard's goroutine, done closes when it returns.
+// owning shard's goroutine; done receives the worker timestamps when it
+// returns. The channel is buffered so the worker never blocks on a
+// submitter.
 type shardJob struct {
 	run  func()
-	done chan struct{}
+	done chan jobTimes
 }
 
 // shardPool is a fixed set of single-owner worker goroutines. Every
@@ -35,8 +45,9 @@ func newShardPool(shards, depth int) *shardPool {
 		go func() {
 			defer p.wg.Done()
 			for job := range q {
+				start := time.Now().UnixNano()
 				job.run()
-				close(job.done)
+				job.done <- jobTimes{startNS: start, endNS: time.Now().UnixNano()}
 			}
 		}()
 	}
@@ -59,14 +70,24 @@ func (p *shardPool) queueLen(shard int) int { return len(p.queues[shard]) }
 // returning promptly when ctx is cancelled, so results are never read
 // while the shard still runs.
 func (p *shardPool) do(ctx context.Context, shard int, fn func()) error {
-	job := shardJob{run: fn, done: make(chan struct{})}
+	_, err := p.doTimed(ctx, shard, fn)
+	return err
+}
+
+// doTimed is do plus timing: it returns when the job was submitted, when
+// the worker dequeued it, and when fn returned (Unix nanos) — the raw
+// material for queue-wait and engine-step spans. Allocation profile is
+// identical to the untimed path (one closure escape + one channel); the
+// timestamps ride the completion channel instead of a second side
+// channel.
+func (p *shardPool) doTimed(ctx context.Context, shard int, fn func()) (jobTimes, error) {
+	job := shardJob{run: fn, done: make(chan jobTimes, 1)}
 	select {
 	case p.queues[shard] <- job:
 	case <-ctx.Done():
-		return ctx.Err()
+		return jobTimes{}, ctx.Err()
 	}
-	<-job.done
-	return nil
+	return <-job.done, nil
 }
 
 // close shuts the queues and waits for the workers to drain. Callers must

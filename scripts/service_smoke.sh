@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the rmccd service stack (CI: service-smoke):
 #
-#   1. build rmccd + rmcc-loadgen,
-#   2. boot the daemon on an ephemeral port,
+#   1. build rmccd + rmcc-loadgen + rmcc-top,
+#   2. boot the daemon on an ephemeral port with JSON structured logging
+#      and the debug listener enabled,
 #   3. drive 8 concurrent sessions through the built-in workload replay
 #      with -check (service stats must be bit-identical to a direct
-#      in-process simulation) and scrape /metrics,
-#   4. replay once more over the NDJSON streaming-upload path,
-#   5. SIGTERM the daemon and require a clean graceful drain: exit 0
-#      within the drain deadline.
+#      in-process simulation), keep the sessions, and scrape /metrics
+#      (which must carry the per-stage span histograms plus the
+#      loadgen-appended client latency quantiles),
+#   4. render the live dashboard once with rmcc-top -once,
+#   5. curl /statusz and /debug/pprof/heap on the debug listener,
+#   6. replay once more over the NDJSON streaming-upload path,
+#   7. SIGTERM the daemon and require a clean graceful drain: exit 0
+#      within the drain deadline, plus structured log lines carrying a
+#      session field.
 #
 # Usage: scripts/service_smoke.sh  [sessions] [accesses]
 set -euo pipefail
@@ -20,27 +26,46 @@ accesses="${2:-20000}"
 workdir="$(mktemp -d)"
 trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
-echo "service-smoke: building rmccd and rmcc-loadgen" >&2
+echo "service-smoke: building rmccd, rmcc-loadgen and rmcc-top" >&2
 go build -o "$workdir/rmccd" ./cmd/rmccd
 go build -o "$workdir/rmcc-loadgen" ./cmd/rmcc-loadgen
+go build -o "$workdir/rmcc-top" ./cmd/rmcc-top
 
 # Start the daemon directly (no subshell) so `wait` can retrieve its real
 # exit status later.
 "$workdir/rmccd" -addr 127.0.0.1:0 -port-file "$workdir/addr" -drain 10s \
+    -log-level info -log-format json \
+    -debug-addr 127.0.0.1:0 -debug-port-file "$workdir/debug_addr" \
     2> "$workdir/rmccd.log" &
 daemon_pid=$!
 
 for _ in $(seq 1 100); do
-    [ -s "$workdir/addr" ] && break
+    [ -s "$workdir/addr" ] && [ -s "$workdir/debug_addr" ] && break
     sleep 0.1
 done
 addr="$(cat "$workdir/addr")"
-echo "service-smoke: rmccd (pid $daemon_pid) on $addr" >&2
+debug_addr="$(cat "$workdir/debug_addr")"
+echo "service-smoke: rmccd (pid $daemon_pid) on $addr, debug on $debug_addr" >&2
 
-echo "service-smoke: $sessions concurrent sessions x $accesses accesses (workload replay, -check)" >&2
+echo "service-smoke: $sessions concurrent sessions x $accesses accesses (workload replay, -check, -keep)" >&2
 "$workdir/rmcc-loadgen" -addr "$addr" -sessions "$sessions" \
     -workload canneal -size test -accesses "$accesses" \
-    -check -metrics-out "$workdir/metrics.txt"
+    -check -keep -metrics-out "$workdir/metrics.txt"
+
+echo "service-smoke: rmcc-top -once against the kept sessions" >&2
+"$workdir/rmcc-top" -addr "$addr" -once > "$workdir/top.txt"
+grep -q 'SESSION' "$workdir/top.txt" && grep -q 'canneal' "$workdir/top.txt" \
+    || { echo "service-smoke: rmcc-top -once rendered no session table" >&2; cat "$workdir/top.txt" >&2; exit 1; }
+
+echo "service-smoke: debug endpoints" >&2
+curl -fsS "http://$debug_addr/statusz" > "$workdir/statusz.json"
+grep -q '"sessions"' "$workdir/statusz.json" && grep -q '"uptime_seconds"' "$workdir/statusz.json" \
+    || { echo "service-smoke: /statusz missing fields" >&2; cat "$workdir/statusz.json" >&2; exit 1; }
+curl -fsS "http://$debug_addr/debug/pprof/heap" > "$workdir/heap.pprof"
+[ -s "$workdir/heap.pprof" ] \
+    || { echo "service-smoke: /debug/pprof/heap returned nothing" >&2; exit 1; }
+curl -fsS "http://$debug_addr/debug/tracez?n=10" | grep -q '"slowest"' \
+    || { echo "service-smoke: /debug/tracez missing spans" >&2; exit 1; }
 
 echo "service-smoke: NDJSON streaming-upload path" >&2
 "$workdir/rmcc-loadgen" -addr "$addr" -sessions 2 \
@@ -50,6 +75,10 @@ grep -q 'rmccd_replays_total{status="ok"}' "$workdir/metrics.txt" \
     || { echo "service-smoke: /metrics missing replay counters" >&2; exit 1; }
 grep -q 'rmccd_build_info' "$workdir/metrics.txt" \
     || { echo "service-smoke: /metrics missing build info" >&2; exit 1; }
+grep -q 'rmccd_replay_stage_duration_us' "$workdir/metrics.txt" \
+    || { echo "service-smoke: /metrics missing stage span histograms" >&2; exit 1; }
+grep -q 'loadgen_replay_latency_seconds{quantile="0.99"}' "$workdir/metrics.txt" \
+    || { echo "service-smoke: metrics-out missing client latency quantiles" >&2; exit 1; }
 
 echo "service-smoke: SIGTERM -> expecting clean drain (exit 0)" >&2
 kill -TERM "$daemon_pid"
@@ -62,5 +91,7 @@ if [ "$status" -ne 0 ]; then
 fi
 grep -q 'shutdown complete' "$workdir/rmccd.log" \
     || { echo "service-smoke: daemon log missing 'shutdown complete'" >&2; cat "$workdir/rmccd.log" >&2; exit 1; }
+grep -q '"session":"s-' "$workdir/rmccd.log" \
+    || { echo "service-smoke: daemon log missing structured session fields" >&2; cat "$workdir/rmccd.log" >&2; exit 1; }
 
 echo "service-smoke: PASS" >&2
