@@ -22,6 +22,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"flag"
@@ -47,6 +49,9 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed (all sessions share it)")
 		ndjson     = flag.Bool("ndjson", false, "stream the accesses as NDJSON instead of using the server-side generator")
 		check      = flag.Bool("check", false, "run the same simulation in-process and require bit-identical engine stats")
+		crashAfter = flag.Uint64("crash-after", 0, "SIGKILL -crash-pid once this many aggregate accesses have applied (crash-recovery testing; exit 0 means the kill fired)")
+		crashPID   = flag.Int("crash-pid", 0, "daemon PID to kill for -crash-after")
+		resume     = flag.Bool("resume", false, "adopt the daemon's existing sessions and top each up to -accesses×-replays total accesses instead of creating new ones")
 		keep       = flag.Bool("keep", false, "leave the sessions on the daemon instead of deleting them")
 		timeout    = flag.Duration("timeout", 5*time.Minute, "overall deadline")
 		metricsOut = flag.String("metrics-out", "", "scrape /metrics after the run to this file (- for stdout), with client-side latency quantiles appended")
@@ -91,6 +96,53 @@ func main() {
 		Size:     *sizeStr,
 	}
 
+	// -crash-after wires a SIGKILL trigger into the progress stream: once
+	// the aggregate applied-access count crosses the threshold the daemon
+	// dies mid-replay, exactly what the recovery smoke needs.
+	var crashTotal atomic.Uint64
+	var crashKilled atomic.Bool
+	var progressEvery uint64
+	var mkProgress func() func(uint64)
+	if *crashAfter > 0 {
+		if *crashPID <= 0 {
+			fatal(fmt.Errorf("-crash-after requires -crash-pid"))
+		}
+		if *ndjson {
+			fatal(fmt.Errorf("-crash-after is not supported with -ndjson"))
+		}
+		progressEvery = 500
+		mkProgress = func() func(uint64) {
+			var last uint64
+			return func(applied uint64) {
+				d := applied - last
+				last = applied
+				if crashTotal.Add(d) >= *crashAfter && crashKilled.CompareAndSwap(false, true) {
+					fmt.Fprintf(os.Stderr, "rmcc-loadgen: crash threshold reached (%d accesses applied): SIGKILL pid %d\n",
+						crashTotal.Load(), *crashPID)
+					_ = syscall.Kill(*crashPID, syscall.SIGKILL)
+				}
+			}
+		}
+	}
+
+	// -resume adopts whatever sessions survived a daemon restart (possibly
+	// restarted from access zero by the fresh-session fallback) and tops
+	// each one up to the full target, so -check passes exactly when
+	// recovery preserved bit-identical simulator state.
+	var resumeInfos []server.SessionInfo
+	if *resume {
+		infos, err := c.ListSessions(ctx)
+		if err != nil {
+			fatal(fmt.Errorf("-resume: list sessions: %w", err))
+		}
+		if len(infos) == 0 {
+			fatal(fmt.Errorf("-resume: daemon has no sessions"))
+		}
+		sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+		resumeInfos = infos
+		*sessions = len(infos)
+	}
+
 	// For -ndjson the client generates the access stream locally (the
 	// same deterministic generator the server would run) and uploads it.
 	var stream []workload.Access
@@ -119,6 +171,37 @@ func main() {
 			defer wg.Done()
 			r := result{idx: i, durs: make([]float64, 0, *replays)}
 			defer func() { results[i] = r }()
+			var onp func(uint64)
+			if mkProgress != nil {
+				onp = mkProgress()
+			}
+			if *resume {
+				info := resumeInfos[i]
+				r.id = info.ID
+				target := *accesses * uint64(*replays)
+				t0 := time.Now()
+				if info.Accesses < target {
+					rt0 := time.Now()
+					r.stats, r.err = c.ReplayWorkload(ctx, info.ID, target-info.Accesses, progressEvery, onp)
+					if r.err == nil {
+						r.durs = append(r.durs, time.Since(rt0).Seconds())
+					}
+				} else {
+					var snap server.SnapshotResponse
+					snap, r.err = c.Snapshot(ctx, info.ID)
+					r.stats = snap.Stats
+				}
+				r.secs = time.Since(t0).Seconds()
+				if r.err != nil {
+					lg.Warn("session failed", "session", info.ID, "error", r.err)
+				}
+				if !*keep {
+					if derr := c.DeleteSession(ctx, info.ID); derr != nil && r.err == nil {
+						r.err = fmt.Errorf("delete: %w", derr)
+					}
+				}
+				return
+			}
 			info, err := c.CreateSession(ctx, scfg)
 			if err != nil {
 				r.err = fmt.Errorf("create: %w", err)
@@ -135,7 +218,7 @@ func main() {
 					// here; the workload path continues one stream).
 					r.stats, r.err = c.ReplayAccesses(ctx, info.ID, stream)
 				} else {
-					r.stats, r.err = c.ReplayWorkload(ctx, info.ID, *accesses, 0, nil)
+					r.stats, r.err = c.ReplayWorkload(ctx, info.ID, *accesses, progressEvery, onp)
 				}
 				if r.err == nil {
 					r.durs = append(r.durs, time.Since(rt0).Seconds())
@@ -154,6 +237,17 @@ func main() {
 	}
 	wg.Wait()
 	wall := time.Since(start).Seconds()
+
+	if *crashAfter > 0 {
+		// Replay/delete errors after the kill are the point, not failures.
+		if crashKilled.Load() {
+			fmt.Printf("crash: daemon pid %d killed after %d aggregate accesses\n",
+				*crashPID, crashTotal.Load())
+			return
+		}
+		fatal(fmt.Errorf("crash threshold %d never reached (%d accesses applied)",
+			*crashAfter, crashTotal.Load()))
+	}
 
 	var total uint64
 	var allDurs []float64

@@ -129,8 +129,8 @@ func render(pm *obs.PromText, sessions []server.SessionInfo, now time.Time) stri
 	}
 	sb.WriteByte('\n')
 
-	fmt.Fprintf(&sb, "%-12s %-12s %5s %12s %9s %9s %7s %9s %9s %-9s\n",
-		"SESSION", "WORKLOAD", "SHARD", "ACCESSES", "CTR-MISS%", "MEMO-HIT%", "ACCEL%", "P50µs", "P99µs", "STATE")
+	fmt.Fprintf(&sb, "%-12s %-12s %5s %12s %9s %9s %7s %9s %9s %7s %-9s\n",
+		"SESSION", "WORKLOAD", "SHARD", "ACCESSES", "CTR-MISS%", "MEMO-HIT%", "ACCEL%", "P50µs", "P99µs", "CKPT", "STATE")
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].Accesses > sessions[j].Accesses })
 	for _, s := range sessions {
 		state := "idle"
@@ -141,10 +141,14 @@ func render(pm *obs.PromText, sessions []server.SessionInfo, now time.Time) stri
 		if workload == "" {
 			workload = s.Name
 		}
-		fmt.Fprintf(&sb, "%-12s %-12s %5d %12s %9.1f %9.1f %7.1f %9.0f %9.0f %-9s\n",
+		ckpt := "-"
+		if s.LastCheckpoint != "" {
+			ckpt = (time.Duration(s.CheckpointAgeSecs) * time.Second).String()
+		}
+		fmt.Fprintf(&sb, "%-12s %-12s %5d %12s %9.1f %9.1f %7.1f %9.0f %9.0f %7s %-9s\n",
 			s.ID, workload, s.Shard, human(float64(s.Accesses)),
 			100*s.CtrMissRate, 100*s.MemoHitRateOnMisses, 100*s.AcceleratedRate,
-			s.ReplayP50us, s.ReplayP99us, state)
+			s.ReplayP50us, s.ReplayP99us, ckpt, state)
 	}
 	if len(sessions) == 0 {
 		sb.WriteString("(no live sessions)\n")

@@ -51,6 +51,8 @@ func run() int {
 		idleTTL   = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (<0 disables)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight replays")
 		chunk     = flag.Int("chunk", 0, "replay chunk size in accesses (default 4096)")
+		snapDir   = flag.String("snapshot-dir", "", "durable session checkpoints live here; enables crash recovery (off when empty)")
+		snapEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic checkpoint interval (with -snapshot-dir)")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 		logFormat = flag.String("log-format", "text", "log line encoding: text|json")
 		debugAddr = flag.String("debug-addr", "", "serve /statusz, /debug/tracez and /debug/pprof on this extra listener (off when empty)")
@@ -86,6 +88,8 @@ func run() int {
 		IdleTTL:       *idleTTL,
 		ChunkAccesses: *chunk,
 		Logger:        log,
+		SnapshotDir:   *snapDir,
+		SnapshotEvery: *snapEvery,
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -161,6 +165,12 @@ func run() int {
 	}
 	if debugSrv != nil {
 		_ = debugSrv.Close()
+	}
+	// With durable checkpoints on, a graceful exit's last act is a final
+	// checkpoint of every live session, so nothing is lost across restarts.
+	if *snapDir != "" {
+		n := srv.CheckpointAll(context.Background())
+		log.Info("final checkpoint", "sessions", n)
 	}
 	srv.Close()
 	if clean {

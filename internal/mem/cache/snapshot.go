@@ -1,0 +1,53 @@
+package cache
+
+import "rmcc/internal/snapshot"
+
+// EncodeState serializes the cache's mutable state — every line's tag,
+// valid/dirty bits, and LRU stamp, plus the global stamp and counters —
+// prefixed with the geometry so DecodeState can refuse a mismatched shape.
+// Configuration is not serialized: the restoring side rebuilds the cache
+// from the same experiment config and only the contents travel.
+func (c *Cache) EncodeState(e *snapshot.Enc) {
+	e.U64(uint64(len(c.sets)))
+	e.U64(uint64(c.cfg.Ways))
+	e.U64(c.stamp)
+	e.U64(c.stats.Hits)
+	e.U64(c.stats.Misses)
+	e.U64(c.stats.Evictions)
+	e.U64(c.stats.Writebacks)
+	for _, set := range c.sets {
+		for i := range set {
+			ln := &set[i]
+			e.U64(ln.tag)
+			e.Bool(ln.valid)
+			e.Bool(ln.dirty)
+			e.U64(ln.lru)
+		}
+	}
+}
+
+// DecodeState restores state written by EncodeState into a cache built with
+// the identical configuration.
+func (d *Cache) DecodeState(dec *snapshot.Dec) error {
+	if sets, ways := dec.U64(), dec.U64(); sets != uint64(len(d.sets)) || ways != uint64(d.cfg.Ways) {
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		return dec.Failf("cache geometry %dx%d, want %dx%d", sets, ways, len(d.sets), d.cfg.Ways)
+	}
+	d.stamp = dec.U64()
+	d.stats.Hits = dec.U64()
+	d.stats.Misses = dec.U64()
+	d.stats.Evictions = dec.U64()
+	d.stats.Writebacks = dec.U64()
+	for _, set := range d.sets {
+		for i := range set {
+			ln := &set[i]
+			ln.tag = dec.U64()
+			ln.valid = dec.Bool()
+			ln.dirty = dec.Bool()
+			ln.lru = dec.U64()
+		}
+	}
+	return dec.Err()
+}

@@ -1,0 +1,10 @@
+package tlb
+
+import "rmcc/internal/snapshot"
+
+// EncodeState serializes the TLB's translation-cache contents and counters.
+func (t *TLB) EncodeState(e *snapshot.Enc) { t.inner.EncodeState(e) }
+
+// DecodeState restores state written by EncodeState into a TLB built with
+// the identical configuration.
+func (t *TLB) DecodeState(d *snapshot.Dec) error { return t.inner.DecodeState(d) }

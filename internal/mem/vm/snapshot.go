@@ -1,0 +1,58 @@
+package vm
+
+import (
+	"sort"
+
+	"rmcc/internal/snapshot"
+)
+
+// EncodeState serializes the mapper's demand-paging state: the allocation
+// cursor and the vpage→ppage table in sorted vpage order (map iteration
+// order must not leak into the snapshot bytes — restored-then-saved state
+// has to be byte-identical to the uninterrupted run's). The shuffled
+// free-page list itself is not serialized: it is a pure function of
+// (physBytes, pageBytes, seed), which the restoring side rebuilds, and the
+// config-hash check upstream guarantees those match.
+func (m *Mapper) EncodeState(e *snapshot.Enc) {
+	e.U64(uint64(m.nextFree))
+	keys := make([]uint64, 0, len(m.table))
+	for v := range m.table {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.U64(uint64(len(keys)))
+	for _, v := range keys {
+		e.U64(v)
+		e.U64(m.table[v])
+	}
+}
+
+// DecodeState restores state written by EncodeState into a mapper built
+// with the identical geometry and seed.
+func (m *Mapper) DecodeState(d *snapshot.Dec) error {
+	nextFree := d.U64()
+	n := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if nextFree > uint64(len(m.freePages)) {
+		return d.Failf("vm allocation cursor %d beyond %d pages", nextFree, len(m.freePages))
+	}
+	if n != nextFree || n > uint64(d.Remaining()/16) {
+		// Every allocated free-list page maps exactly one vpage.
+		return d.Failf("vm table length %d with cursor %d", n, nextFree)
+	}
+	m.nextFree = int(nextFree)
+	m.table = make(map[uint64]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		vpage := d.U64()
+		m.table[vpage] = d.U64()
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if uint64(len(m.table)) != n {
+		return d.Failf("vm table has %d duplicate vpages", n-uint64(len(m.table)))
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package counter
+
+import "rmcc/internal/snapshot"
+
+// EncodeState serializes all counter ground truth: every data counter,
+// every tree level, the observed-max register, and the cumulative overflow
+// tallies. Geometry (block counts, level count) is derived from the scheme
+// and footprint at construction, so only the values travel; DecodeState
+// enforces the lengths against the store it restores into.
+func (s *Store) EncodeState(e *snapshot.Enc) {
+	e.U64s(s.vals)
+	e.U64(uint64(s.Levels()))
+	for l := 1; l <= s.Levels(); l++ {
+		e.U64s(s.tree[l])
+	}
+	e.U64(s.observedMax)
+	e.U64s(s.Overflows)
+}
+
+// DecodeState restores state written by EncodeState into a store built with
+// the identical scheme and footprint. It writes counters directly — the
+// monotonicity guard on SetDataCounter/SetTreeCounter compares against
+// live state, which does not apply when replacing the whole image with a
+// previously valid one.
+func (s *Store) DecodeState(d *snapshot.Dec) error {
+	d.U64sInto(s.vals)
+	if levels := d.U64(); levels != uint64(s.Levels()) {
+		if err := d.Err(); err != nil {
+			return err
+		}
+		return d.Failf("counter tree has %d levels, want %d", levels, s.Levels())
+	}
+	for l := 1; l <= s.Levels(); l++ {
+		d.U64sInto(s.tree[l])
+	}
+	s.observedMax = d.U64()
+	d.U64sInto(s.Overflows)
+	return d.Err()
+}

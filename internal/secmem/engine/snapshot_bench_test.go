@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"rmcc/internal/secmem/counter"
+)
+
+// warmEngine1M drives one million mixed accesses through a 64 MB RMCC
+// controller — the "warm 1M-access engine" the snapshot latency budget is
+// stated against.
+func warmEngine1M(b *testing.B) *MC {
+	b.Helper()
+	cfg := DefaultConfig(RMCC, counter.Morphable, 64<<20)
+	mc := New(cfg)
+	blocks := uint64(cfg.MemBytes / counter.BlockBytes)
+	// Strided mix: enough spatial reuse to exercise the counter cache,
+	// enough spread to touch many counter groups.
+	for i := uint64(0); i < 1_000_000; i++ {
+		addr := ((i * 2654435761) % blocks) * counter.BlockBytes
+		if i%3 == 0 {
+			mc.Write(addr)
+		} else {
+			mc.Read(addr)
+		}
+		mc.OnEpochAccess()
+	}
+	return mc
+}
+
+func BenchmarkEngineSaveWarm1M(b *testing.B) {
+	mc := warmEngine1M(b)
+	var buf bytes.Buffer
+	if err := mc.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := mc.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineLoadWarm1M(b *testing.B) {
+	mc := warmEngine1M(b)
+	var buf bytes.Buffer
+	if err := mc.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	dst := New(mc.Config())
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

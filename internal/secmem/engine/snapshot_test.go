@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/snapshot"
+)
+
+// tinyConfig keeps fuzz/test controllers cheap to build (1024 data blocks).
+func tinyConfig() Config {
+	cfg := DefaultConfig(RMCC, counter.SGX, 1<<16)
+	cfg.CounterCacheBytes = 8 << 10
+	cfg.CounterCacheWays = 8
+	cfg.TrackContents = true
+	return cfg
+}
+
+// warmTinyMC builds a small controller with some traffic so every state
+// structure (counters, cache lines, memo tables, contents image) is
+// non-trivial.
+func warmTinyMC(t testing.TB) *MC {
+	mc := New(tinyConfig())
+	for i := 0; i < 600; i++ {
+		addr := uint64(i%1024) * 64
+		if i%3 == 0 {
+			mc.Write(addr)
+		} else {
+			mc.Read(addr)
+		}
+		mc.OnEpochAccess()
+	}
+	return mc
+}
+
+func TestEngineSaveLoadRoundTrip(t *testing.T) {
+	mc := warmTinyMC(t)
+	var buf bytes.Buffer
+	if err := mc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mc2 := New(tinyConfig())
+	if err := mc2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if mc2.Stats() != mc.Stats() {
+		t.Fatalf("stats differ after restore:\n%+v\n%+v", mc2.Stats(), mc.Stats())
+	}
+	// Continued identical traffic must produce identical state: drive both
+	// and compare re-saved bytes.
+	for i := 0; i < 300; i++ {
+		addr := uint64((i*7)%1024) * 64
+		mc.Write(addr)
+		mc.OnEpochAccess()
+		mc2.Write(addr)
+		mc2.OnEpochAccess()
+	}
+	var a, b bytes.Buffer
+	if err := mc.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc2.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("restored controller diverged from original under identical traffic")
+	}
+}
+
+func TestEngineLoadConfigMismatch(t *testing.T) {
+	mc := warmTinyMC(t)
+	var buf bytes.Buffer
+	if err := mc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := tinyConfig()
+	other.Scheme = counter.Morphable
+	if err := New(other).Load(bytes.NewReader(buf.Bytes())); !errors.Is(err, snapshot.ErrSnapshotConfigMismatch) {
+		t.Fatalf("scheme mismatch: %v", err)
+	}
+	nonSec := DefaultConfig(NonSecure, counter.SGX, 1<<16)
+	if err := New(nonSec).Load(bytes.NewReader(buf.Bytes())); !errors.Is(err, snapshot.ErrSnapshotConfigMismatch) {
+		t.Fatalf("mode mismatch: %v", err)
+	}
+}
+
+// FuzzLoadSnapshot feeds arbitrary, truncated, and bit-flipped bytes into
+// MC.Load: every outcome must be nil or one of the three typed snapshot
+// errors — never a panic, never an untyped error (the crash-recovery path
+// in rmccd classifies on exactly these).
+func FuzzLoadSnapshot(f *testing.F) {
+	var valid bytes.Buffer
+	if err := warmTinyMC(f).Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	vb := valid.Bytes()
+	f.Add(vb)
+	f.Add([]byte{})
+	f.Add(vb[:16])
+	f.Add(vb[:len(vb)/2])
+	for _, off := range []int{0, 8, 12, 30, 40, 60, len(vb) / 2, len(vb) - 2} {
+		mut := append([]byte(nil), vb...)
+		mut[off] ^= 0x41
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mc := New(tinyConfig())
+		err := mc.Load(bytes.NewReader(data))
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, snapshot.ErrSnapshotCorrupt) &&
+			!errors.Is(err, snapshot.ErrSnapshotVersion) &&
+			!errors.Is(err, snapshot.ErrSnapshotConfigMismatch) {
+			t.Fatalf("untyped load error: %v", err)
+		}
+	})
+}

@@ -91,6 +91,25 @@ func TestReplayChunkInstrumentationAllocFree(t *testing.T) {
 			instrumented, control)
 	}
 	t.Logf("allocs/op: instrumented=%.1f control=%.1f", instrumented, control)
+
+	// A durable checkpoint between chunks must not perturb the chunk path:
+	// the encode buffer is session-owned and reused, the resume-cursor
+	// bookkeeping is two shard-owned uint64s, and nothing the checkpoint
+	// allocates leaks into subsequent chunk submissions.
+	s.cfg.SnapshotDir = t.TempDir()
+	if err := s.checkpointSession(ctx, sess); err != nil {
+		t.Fatal(err)
+	}
+	afterCkpt := testing.AllocsPerRun(200, func() {
+		if _, _, _, err := s.applyWorkloadChunk(ctx, sess, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if afterCkpt > control {
+		t.Errorf("chunk path allocates %.1f/op after a checkpoint, control %.1f/op",
+			afterCkpt, control)
+	}
+	t.Logf("allocs/op after checkpoint: %.1f", afterCkpt)
 }
 
 // TestRecordChunkAllocFree pins the span/histogram/sampled-log recording

@@ -235,6 +235,13 @@ type SessionInfo struct {
 	// from the session's bucketed history (0 until a chunk applies).
 	ReplayP50us float64 `json:"replay_p50_us"`
 	ReplayP99us float64 `json:"replay_p99_us"`
+
+	// Durable-checkpoint view: when the last on-disk checkpoint was cut,
+	// how stale it is, and its encoded size. Empty/zero when the daemon
+	// runs without -snapshot-dir or the session has never checkpointed.
+	LastCheckpoint    string  `json:"last_checkpoint,omitempty"`
+	CheckpointAgeSecs float64 `json:"checkpoint_age_seconds,omitempty"`
+	CheckpointBytes   uint64  `json:"checkpoint_bytes,omitempty"`
 }
 
 // ReplayStats is the rolled-up result of a replay (and the stats half of

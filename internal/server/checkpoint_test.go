@@ -1,0 +1,252 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rmcc/internal/server"
+	"rmcc/internal/server/client"
+)
+
+// directStats runs the reference simulation on a throwaway daemon: one
+// session, one uninterrupted replay of n accesses.
+func directStats(t *testing.T, n uint64) server.ReplayStats {
+	t.Helper()
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.ReplayWorkload(ctx, info.ID, n, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, c := newTestServer(t, server.Config{SnapshotDir: dir})
+	ctx := context.Background()
+
+	info, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReplayWorkload(ctx, info.ID, 6000, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// On-demand durable checkpoint: file on disk, info reflects it.
+	ck, err := c.Checkpoint(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if ck.LastCheckpoint == "" || ck.CheckpointBytes == 0 {
+		t.Fatalf("checkpoint info not populated: %+v", ck)
+	}
+	if _, err := os.Stat(filepath.Join(dir, info.ID+".snap")); err != nil {
+		t.Fatalf("checkpoint file: %v", err)
+	}
+
+	// Download, delete, restore: the session comes back under its ID with
+	// its cursor intact, and the remaining replay is bit-identical to an
+	// uninterrupted run.
+	blob, err := c.CheckpointDownload(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("download: %v", err)
+	}
+	if err := c.DeleteSession(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := c.RestoreSession(ctx, blob)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if restored.ID != info.ID || restored.Accesses != 6000 {
+		t.Fatalf("restored info: %+v", restored)
+	}
+	stats, err := c.ReplayWorkload(ctx, restored.ID, 4000, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directStats(t, 10000)
+	if !reflect.DeepEqual(stats.Engine, want.Engine) {
+		t.Errorf("resumed engine stats differ from uninterrupted run:\ngot:  %+v\nwant: %+v",
+			stats.Engine, want.Engine)
+	}
+
+	// Restoring the same blob while the session lives is an ID conflict.
+	if _, err := c.RestoreSession(ctx, blob); err == nil {
+		t.Fatal("duplicate restore succeeded")
+	} else {
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.Status != 409 {
+			t.Fatalf("duplicate restore: %v", err)
+		}
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, c1 := newTestServer(t, server.Config{SnapshotDir: dir})
+	ctx := context.Background()
+
+	info, err := c1.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.ReplayWorkload(ctx, info.ID, 5000, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Checkpoint(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": a second daemon starts over the same snapshot dir without
+	// the first ever deleting its session.
+	_, c2 := newTestServer(t, server.Config{SnapshotDir: dir})
+	infos, err := c2.ListSessions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != info.ID || infos[0].Accesses != 5000 {
+		t.Fatalf("recovered sessions: %+v", infos)
+	}
+	stats, err := c2.ReplayWorkload(ctx, info.ID, 5000, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directStats(t, 10000)
+	if !reflect.DeepEqual(stats.Engine, want.Engine) {
+		t.Errorf("recovered engine stats differ from uninterrupted run:\ngot:  %+v\nwant: %+v",
+			stats.Engine, want.Engine)
+	}
+
+	// New sessions on the recovered daemon must not collide with the
+	// recovered ID space.
+	fresh, err := c2.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == info.ID {
+		t.Fatalf("recovered daemon reissued live session ID %q", fresh.ID)
+	}
+}
+
+func TestRecoveryFallbacks(t *testing.T) {
+	dir := t.TempDir()
+	_, c1 := newTestServer(t, server.Config{SnapshotDir: dir})
+	ctx := context.Background()
+
+	info, err := c1.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.ReplayWorkload(ctx, info.ID, 3000, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c1.CheckpointDownload(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated tail: the meta section survives, the simulator state does
+	// not → recovery restarts the session fresh under the same ID.
+	if err := os.WriteFile(filepath.Join(dir, info.ID+".snap"), blob[:len(blob)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Pure garbage: no usable meta → skipped entirely.
+	if err := os.WriteFile(filepath.Join(dir, "s-deadbeef.snap"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, c2 := newTestServer(t, server.Config{SnapshotDir: dir})
+	infos, err := c2.ListSessions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != info.ID {
+		t.Fatalf("recovered sessions: %+v", infos)
+	}
+	if infos[0].Accesses != 0 {
+		t.Fatalf("fallback session should restart at access zero, got %d", infos[0].Accesses)
+	}
+	// The fallback session is fully usable.
+	if _, err := c2.ReplayWorkload(ctx, info.ID, 1000, 0, nil); err != nil {
+		t.Fatalf("fallback session replay: %v", err)
+	}
+}
+
+func TestRestoreRejectsBadBlobs(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	info, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReplayWorkload(ctx, info.ID, 2000, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.CheckpointDownload(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status := func(err error) int {
+		t.Helper()
+		var ae *client.APIError
+		if !errors.As(err, &ae) {
+			t.Fatalf("not an API error: %v", err)
+		}
+		return ae.Status
+	}
+	if _, err := c.RestoreSession(ctx, []byte("garbage")); status(err) != 422 {
+		t.Errorf("garbage blob: %v", err)
+	}
+	if _, err := c.RestoreSession(ctx, blob[:len(blob)/2]); status(err) != 422 {
+		t.Errorf("truncated blob: %v", err)
+	}
+	mut := append([]byte(nil), blob...)
+	mut[8] = 0x7f // format version
+	if _, err := c.RestoreSession(ctx, mut); status(err) != 422 {
+		t.Errorf("version flip: %v", err)
+	}
+}
+
+func TestDrainFinalCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv, c := newTestServer(t, server.Config{SnapshotDir: dir})
+	ctx := context.Background()
+
+	info, err := c.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReplayWorkload(ctx, info.ID, 4000, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.BeginDrain()
+	if n := srv.CheckpointAll(ctx); n != 1 {
+		t.Fatalf("CheckpointAll wrote %d checkpoints, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, info.ID+".snap")); err != nil {
+		t.Fatalf("final checkpoint file: %v", err)
+	}
+
+	// The next daemon generation resumes from the drain checkpoint.
+	_, c2 := newTestServer(t, server.Config{SnapshotDir: dir})
+	infos, err := c2.ListSessions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Accesses != 4000 {
+		t.Fatalf("recovered sessions after drain: %+v", infos)
+	}
+}

@@ -113,6 +113,49 @@ func (c *Client) Snapshot(ctx context.Context, id string) (server.SnapshotRespon
 	return out, c.do(req, &out)
 }
 
+// Checkpoint asks the daemon to cut a durable state checkpoint of the
+// session into its -snapshot-dir, returning the refreshed session info.
+func (c *Client) Checkpoint(ctx context.Context, id string) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/sessions/"+id+"/snapshot", nil)
+	if err != nil {
+		return info, err
+	}
+	return info, c.do(req, &info)
+}
+
+// CheckpointDownload cuts a state checkpoint and returns the encoded
+// blob, feedable to RestoreSession on any daemon.
+func (c *Client) CheckpointDownload(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/sessions/"+id+"/snapshot?download=1", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// RestoreSession creates a session from a checkpoint blob.
+func (c *Client) RestoreSession(ctx context.Context, blob []byte) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/sessions/restore", bytes.NewReader(blob))
+	if err != nil {
+		return info, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	return info, c.do(req, &info)
+}
+
 // ReplayWorkload runs the session's bound generator for n accesses
 // server-side and returns the rolled-up stats. onProgress, when non-nil,
 // receives applied-access counts as the daemon streams progress frames

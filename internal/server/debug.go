@@ -52,6 +52,12 @@ type StatuszInfo struct {
 	SpansTotal    uint64 `json:"spans_total"`
 	LogLines      uint64 `json:"log_lines"`
 	NumGoroutines int    `json:"num_goroutines"`
+
+	// Durable-checkpoint state (zero/empty without -snapshot-dir).
+	SnapshotDir       string `json:"snapshot_dir,omitempty"`
+	SnapshotsTotal    uint64 `json:"snapshots_total"`
+	SnapshotFailures  uint64 `json:"snapshot_failures"`
+	SessionsRecovered uint64 `json:"sessions_recovered"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
@@ -70,6 +76,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		SpansTotal:    s.spans.Total(),
 		LogLines:      s.log.Lines(),
 		NumGoroutines: runtime.NumGoroutine(),
+
+		SnapshotDir:       s.cfg.SnapshotDir,
+		SnapshotsTotal:    s.mSnapshots.Value(),
+		SnapshotFailures:  s.mSnapshotFailWrite.Value() + s.mSnapshotFailLoad.Value(),
+		SessionsRecovered: s.mSessionsRecovered.Value(),
 	}
 	for i := range info.QueueDepths {
 		info.QueueDepths[i] = s.pool.queueLen(i)

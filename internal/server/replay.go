@@ -166,6 +166,15 @@ func (s *Server) applyWorkloadChunk(ctx context.Context, sess *session, want uin
 		if sess.stream == nil {
 			w, seed := sess.w, sess.seed
 			sess.stream = sim.NewAccessStream(func(sink workload.Sink) { w.Run(seed, sink) })
+			// Restored session: the stream is a pure function of
+			// (workload, seed), so fast-forward past the accesses the
+			// pre-crash incarnation already consumed.
+			for ; sess.pulled < sess.skipPulled; sess.pulled++ {
+				if _, ok := sess.stream.Next(); !ok {
+					exhausted = true
+					break
+				}
+			}
 		}
 		for got < want {
 			if got%512 == 511 && ctx.Err() != nil {
@@ -179,6 +188,7 @@ func (s *Server) applyWorkloadChunk(ctx context.Context, sess *session, want uin
 			sess.lt.Step(a)
 			got++
 		}
+		sess.pulled += got
 		total = sess.lt.Accesses()
 		// Refresh the lock-free rate mirrors on the shard goroutine (the
 		// only place engine state may be read). Capturing a stats struct

@@ -46,6 +46,19 @@ type Config struct {
 	// (default 1e9).
 	MaxReplayAccesses uint64
 
+	// SnapshotDir, when set, makes sessions crash-recoverable: each live
+	// session is periodically checkpointed to <dir>/<id>.snap, the drain
+	// path cuts a final checkpoint of every session, and New rehydrates
+	// sessions from the newest valid checkpoints on startup. Empty (the
+	// default) disables all durable-checkpoint machinery.
+	SnapshotDir string
+	// SnapshotEvery is the periodic checkpoint interval (default 30s;
+	// only meaningful with SnapshotDir).
+	SnapshotEvery time.Duration
+	// MaxSnapshotBytes caps a POST /v1/sessions/restore body
+	// (default 256 MiB).
+	MaxSnapshotBytes int64
+
 	// Now is the clock, injectable for TTL tests (default time.Now).
 	Now func() time.Time
 	// Logger receives structured operational logs. Nil disables logging
@@ -88,6 +101,12 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 30 * time.Second
+	}
+	if c.MaxSnapshotBytes <= 0 {
+		c.MaxSnapshotBytes = 256 << 20
+	}
 	if c.LogSampleEvery == 0 {
 		c.LogSampleEvery = 64
 	}
@@ -120,6 +139,11 @@ type Server struct {
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 
+	// Periodic checkpointer lifecycle (nil channels when SnapshotDir is
+	// unset — no goroutine runs).
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+
 	// metrics (owned instruments; exported at /metrics).
 	mSessionsCreated *obs.Counter
 	mEvictedTTL      *obs.Counter
@@ -136,6 +160,14 @@ type Server struct {
 	mStageEncode    *obs.Histogram
 	// Shard queue depth observed at each chunk enqueue.
 	mEnqueueDepth *obs.Histogram
+
+	// Durable-checkpoint metrics.
+	mSnapshots          *obs.Counter
+	mSnapshotFailWrite  *obs.Counter
+	mSnapshotFailLoad   *obs.Counter
+	mSessionsRecovered  *obs.Counter
+	mSnapshotDurationUS *obs.Histogram
+	mSnapshotBytes      *obs.Histogram
 }
 
 // New builds a server and starts its shard pool and TTL janitor.
@@ -162,6 +194,14 @@ func New(cfg Config) *Server {
 	s.spans.RegisterStage(stageEncode, s.mStageEncode)
 	s.spans.AttachTracer(s.trace)
 	s.initRoutes()
+	if cfg.SnapshotDir != "" {
+		// Rehydrate crashed sessions before any request can race a create,
+		// then start the periodic checkpointer.
+		s.recoverSessions()
+		s.ckptStop = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointer()
+	}
 	go s.janitor()
 	return s
 }
@@ -219,6 +259,18 @@ func (s *Server) initMetrics() {
 	s.mEnqueueDepth = s.reg.Histogram("rmccd_queue_depth_at_enqueue",
 		"shard queue depth observed when a replay chunk was submitted",
 		obs.Pow2Buckets(0, 10))
+	s.mSnapshots = s.reg.Counter("rmccd_snapshots_total",
+		"session checkpoints cut (periodic, drain, and on-demand)")
+	s.mSnapshotFailWrite = s.reg.Counter("rmccd_snapshot_failures_total",
+		"checkpoint failures, by reason", obs.L("reason", "write"))
+	s.mSnapshotFailLoad = s.reg.Counter("rmccd_snapshot_failures_total", "",
+		obs.L("reason", "restore"))
+	s.mSessionsRecovered = s.reg.Counter("rmccd_sessions_recovered_total",
+		"sessions rehydrated from checkpoints at startup")
+	s.mSnapshotDurationUS = s.reg.Histogram("rmccd_snapshot_duration_us",
+		"checkpoint encode+fsync latency in microseconds", obs.Pow2Buckets(4, 26))
+	s.mSnapshotBytes = s.reg.Histogram("rmccd_snapshot_bytes",
+		"encoded checkpoint size in bytes", obs.Pow2Buckets(10, 32))
 	s.reg.GaugeFunc("rmccd_uptime_seconds", "seconds since the daemon started",
 		func() float64 { return s.cfg.Now().Sub(s.started).Seconds() })
 	s.reg.CounterFunc("rmccd_spans_total", "service-layer spans completed",
@@ -233,6 +285,8 @@ func (s *Server) initRoutes() {
 	s.mux.HandleFunc("GET /v1/sessions", s.instrument("list", s.handleList))
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
 	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/snapshot", s.instrument("checkpoint", s.handleCheckpoint))
+	s.mux.HandleFunc("POST /v1/sessions/restore", s.instrument("restore", s.handleRestore))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/replay", s.instrument("replay", s.handleReplay))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -263,6 +317,10 @@ func (s *Server) Close() {
 	s.draining.Store(true)
 	close(s.janitorStop)
 	<-s.janitorDone
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		<-s.ckptDone
+	}
 	s.forceCancel()
 	s.pool.close()
 	s.mu.Lock()
@@ -339,6 +397,7 @@ func (s *Server) evict(sess *session, ctr *obs.Counter, reason string) bool {
 	if sess.stream != nil {
 		sess.stream.Close()
 	}
+	s.removeCheckpoint(sess)
 	ctr.Inc()
 	sess.lg.Info("session evicted",
 		"reason", reason, "accesses", sess.accessesDone.Load())
@@ -394,6 +453,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		seed:      res.seed,
 		created:   now,
 		cfgHash:   obs.HashConfig(sc),
+		sc:        sc,
 		footprint: res.footprint,
 		lt:        lt,
 		w:         res.w,
@@ -419,14 +479,22 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	sess.lg.Info("session created",
 		"mode", sess.mode, "scheme", sess.scheme,
 		"footprint_bytes", sess.footprint, "config_hash", sess.cfgHash)
-	writeJSON(w, http.StatusCreated, sess.info(0))
+	// Durable from birth: cut the initial checkpoint now so a crash at any
+	// point after the create response leaves the session recoverable.
+	if s.cfg.SnapshotDir != "" {
+		if err := s.checkpointSession(r.Context(), sess); err != nil {
+			sess.lg.Warn("initial checkpoint failed", "error", err)
+		}
+	}
+	writeJSON(w, http.StatusCreated, sess.info(0, now))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	now := s.cfg.Now()
 	s.mu.Lock()
 	out := make([]SessionInfo, 0, len(s.sessions))
 	for _, sess := range s.sessions {
-		out = append(out, sess.info(sess.accessesDone.Load()))
+		out = append(out, sess.info(sess.accessesDone.Load(), now))
 	}
 	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"math"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,9 @@ type session struct {
 
 	cfgHash   string
 	footprint uint64
+	// sc is the original create-request config, carried verbatim into
+	// checkpoints so recovery rebuilds the identical session.
+	sc SessionConfig
 
 	lt *sim.Lifetime
 	w  workload.Workload // bound generator; nil for NDJSON-only sessions
@@ -34,6 +38,24 @@ type session struct {
 	// on first workload replay so successive replays continue one
 	// deterministic stream. Closed at eviction.
 	stream *sim.AccessStream
+	// pulled counts accesses drawn from the bound generator's stream
+	// (shard-owned). It is the resume cursor: the stream is a pure
+	// function of (workload, seed), so a restored session recreates it and
+	// discards skipPulled accesses before continuing.
+	pulled uint64
+	// skipPulled is the restored cursor a lazily created stream must skip
+	// past (set once at restore, read on the shard goroutine).
+	skipPulled uint64
+
+	// ckptBuf is the reusable checkpoint encode buffer, touched only while
+	// the replay lease is held (checkpoints take the lease like replays).
+	ckptBuf bytes.Buffer
+	// Checkpoint mirrors for lock-free listings: unix nanos of the last
+	// durable checkpoint, its encoded size, and the access count it
+	// captured (so the periodic checkpointer skips idle sessions).
+	lastCkptNS       atomic.Int64
+	lastCkptBytes    atomic.Uint64
+	lastCkptAccesses atomic.Uint64
 
 	// lg carries the session's bound log fields (session, shard, workload,
 	// seed). Nil when the server has no logger attached.
@@ -89,10 +111,16 @@ func (s *session) acquire() (ok, gone bool) {
 func (s *session) release() { s.replaying.Store(false) }
 
 // info renders the listing view.
-func (s *session) info(accesses uint64) SessionInfo {
+func (s *session) info(accesses uint64, now time.Time) SessionInfo {
 	wl := ""
 	if s.w != nil {
 		wl = s.w.Name()
+	}
+	var lastCkpt string
+	var ckptAge float64
+	if ns := s.lastCkptNS.Load(); ns != 0 {
+		lastCkpt = time.Unix(0, ns).UTC().Format(time.RFC3339)
+		ckptAge = now.Sub(time.Unix(0, ns)).Seconds()
 	}
 	return SessionInfo{
 		ID:                  s.id,
@@ -112,5 +140,8 @@ func (s *session) info(accesses uint64) SessionInfo {
 		AcceleratedRate:     math.Float64frombits(s.rAccel.Load()),
 		ReplayP50us:         s.chunkHist.Quantile(0.5),
 		ReplayP99us:         s.chunkHist.Quantile(0.99),
+		LastCheckpoint:      lastCkpt,
+		CheckpointAgeSecs:   ckptAge,
+		CheckpointBytes:     s.lastCkptBytes.Load(),
 	}
 }

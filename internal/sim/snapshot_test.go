@@ -1,0 +1,217 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rmcc/internal/rng"
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+	"rmcc/internal/sim"
+	"rmcc/internal/snapshot"
+	"rmcc/internal/workload"
+)
+
+// stepTo pulls accesses from a fresh deterministic stream, discarding the
+// first skip (the restored stepper's cursor) and stepping the rest until
+// the stepper reaches target accesses.
+func stepTo(t *testing.T, lt *sim.Lifetime, w workload.Workload, seed, skip, target uint64) {
+	t.Helper()
+	st := sim.NewAccessStream(func(sink workload.Sink) { w.Run(seed, sink) })
+	defer st.Close()
+	for i := uint64(0); i < skip; i++ {
+		if _, ok := st.Next(); !ok {
+			t.Fatal("stream exhausted during skip")
+		}
+	}
+	for lt.Accesses() < target {
+		a, ok := st.Next()
+		if !ok {
+			t.Fatal("stream exhausted")
+		}
+		lt.Step(a)
+	}
+}
+
+// TestSnapshotResumeBitIdentical is the tentpole property test: for every
+// mode × counter scheme, run a lifetime to a random access N, snapshot,
+// restore into a fresh stepper, and require the resumed run's results AND
+// its own re-snapshot to be bit-identical to an uninterrupted run.
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	type combo struct {
+		mode   engine.Mode
+		scheme counter.Scheme
+	}
+	combos := []combo{
+		{engine.NonSecure, counter.SGX},
+		{engine.Baseline, counter.SGX},
+		{engine.Baseline, counter.SC64},
+		{engine.Baseline, counter.Morphable},
+		{engine.RMCC, counter.SGX},
+		{engine.RMCC, counter.SC64},
+		{engine.RMCC, counter.Morphable},
+	}
+	const target = 9000
+	r := rng.New(0x5a47)
+	for _, c := range combos {
+		c := c
+		cut := 1 + r.Uint64n(target-2) // random snapshot point in (0, target)
+		t.Run(fmt.Sprintf("%v-%v", c.mode, c.scheme), func(t *testing.T) {
+			t.Parallel()
+			w, ok := workload.ByName(workload.SizeTest, 7, "canneal")
+			if !ok {
+				t.Fatal("no canneal workload")
+			}
+			cfg := sim.DefaultLifetimeConfig(engine.DefaultConfig(c.mode, c.scheme, 0))
+			cfg.Seed = 7
+
+			newLT := func() *sim.Lifetime {
+				lt, err := sim.NewLifetimeChecked(w.Name(), w.FootprintBytes(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return lt
+			}
+
+			// Uninterrupted run.
+			ltA := newLT()
+			stepTo(t, ltA, w, cfg.Seed, 0, target)
+			resA := ltA.Result()
+			var saveA bytes.Buffer
+			if err := ltA.Save(&saveA); err != nil {
+				t.Fatal(err)
+			}
+
+			// Interrupted run: stop at cut, snapshot, restore into a fresh
+			// stepper, finish.
+			ltB := newLT()
+			stepTo(t, ltB, w, cfg.Seed, 0, cut)
+			var mid bytes.Buffer
+			if err := ltB.Save(&mid); err != nil {
+				t.Fatal(err)
+			}
+			ltC := newLT()
+			if err := ltC.Load(bytes.NewReader(mid.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			if ltC.Accesses() != cut {
+				t.Fatalf("restored cursor %d, want %d", ltC.Accesses(), cut)
+			}
+			stepTo(t, ltC, w, cfg.Seed, cut, target)
+			resC := ltC.Result()
+
+			if !reflect.DeepEqual(resA, resC) {
+				t.Errorf("cut=%d: resumed result differs from uninterrupted run:\nA: %+v\nC: %+v",
+					cut, resA, resC)
+			}
+			var saveC bytes.Buffer
+			if err := ltC.Save(&saveC); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(saveA.Bytes(), saveC.Bytes()) {
+				t.Errorf("cut=%d: resumed snapshot bytes differ from uninterrupted run's", cut)
+			}
+		})
+	}
+}
+
+// TestSnapshotResumeTrackContents exercises the functional-memory image
+// path (plain/cipher/MAC maps) through a snapshot boundary.
+func TestSnapshotResumeTrackContents(t *testing.T) {
+	w, ok := workload.ByName(workload.SizeTest, 3, "stream")
+	if !ok {
+		// Fall back: any workload works for this property.
+		w, _ = workload.ByName(workload.SizeTest, 3, "canneal")
+	}
+	eng := engine.DefaultConfig(engine.RMCC, counter.Morphable, 0)
+	eng.TrackContents = true
+	cfg := sim.DefaultLifetimeConfig(eng)
+	cfg.Seed = 3
+	const cut, target = 1500, 4000
+
+	ltA, err := sim.NewLifetimeChecked(w.Name(), w.FootprintBytes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepTo(t, ltA, w, cfg.Seed, 0, target)
+	resA := ltA.Result()
+	if resA.Engine.IntegrityFailures != 0 || resA.Engine.DecryptMismatches != 0 {
+		t.Fatalf("uninterrupted run not clean: %+v", resA.Engine)
+	}
+
+	ltB, err := sim.NewLifetimeChecked(w.Name(), w.FootprintBytes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepTo(t, ltB, w, cfg.Seed, 0, cut)
+	var mid bytes.Buffer
+	if err := ltB.Save(&mid); err != nil {
+		t.Fatal(err)
+	}
+	ltC, err := sim.NewLifetimeChecked(w.Name(), w.FootprintBytes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ltC.Load(bytes.NewReader(mid.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	stepTo(t, ltC, w, cfg.Seed, cut, target)
+	resC := ltC.Result()
+	if !reflect.DeepEqual(resA, resC) {
+		t.Errorf("TrackContents resume differs:\nA: %+v\nC: %+v", resA, resC)
+	}
+	if resC.Engine.IntegrityFailures != 0 || resC.Engine.DecryptMismatches != 0 {
+		t.Errorf("resumed run failed verification: %+v", resC.Engine)
+	}
+}
+
+// TestLifetimeLoadTypedErrors pins the error taxonomy at the sim layer.
+func TestLifetimeLoadTypedErrors(t *testing.T) {
+	w, _ := workload.ByName(workload.SizeTest, 1, "canneal")
+	cfg := sim.DefaultLifetimeConfig(engine.DefaultConfig(engine.RMCC, counter.SGX, 0))
+	lt, err := sim.NewLifetimeChecked(w.Name(), w.FootprintBytes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	fresh := func() *sim.Lifetime {
+		lt, err := sim.NewLifetimeChecked(w.Name(), w.FootprintBytes(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lt
+	}
+
+	// Truncation → corrupt.
+	if err := fresh().Load(bytes.NewReader(valid[:len(valid)/2])); !errors.Is(err, snapshot.ErrSnapshotCorrupt) {
+		t.Errorf("truncated: %v", err)
+	}
+	// Version flip → version error.
+	bad := append([]byte(nil), valid...)
+	bad[8] = 0x7f
+	if err := fresh().Load(bytes.NewReader(bad)); !errors.Is(err, snapshot.ErrSnapshotVersion) {
+		t.Errorf("version: %v", err)
+	}
+	// Different engine config → config mismatch.
+	cfg2 := cfg
+	cfg2.Engine = engine.DefaultConfig(engine.Baseline, counter.SC64, 0)
+	lt2, err := sim.NewLifetimeChecked(w.Name(), w.FootprintBytes(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lt2.Load(bytes.NewReader(valid)); !errors.Is(err, snapshot.ErrSnapshotConfigMismatch) {
+		t.Errorf("config mismatch: %v", err)
+	}
+	// The valid bytes load cleanly into a matching fresh stepper.
+	if err := fresh().Load(bytes.NewReader(valid)); err != nil {
+		t.Errorf("valid load: %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func writeSample(t *testing.T, kind string, hash uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw := NewWriter(&buf, kind, hash)
+	var e Enc
+	e.U64(42)
+	e.String("hello")
+	e.U64s([]uint64{1, 2, 3})
+	sw.Section("meta", e.Data())
+	e.Reset()
+	e.F64(0.25)
+	e.Bool(true)
+	sw.Section("state", e.Data())
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripSections(t *testing.T) {
+	data := writeSample(t, "test-kind", 0xfeed)
+	sr, err := NewReader(bytes.NewReader(data), "test-kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.ConfigHash() != 0xfeed {
+		t.Fatalf("config hash %x", sr.ConfigHash())
+	}
+	meta, err := sr.Section("meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDec(meta)
+	if v := d.U64(); v != 42 {
+		t.Fatalf("u64 = %d", v)
+	}
+	if s := d.String(); s != "hello" {
+		t.Fatalf("string = %q", s)
+	}
+	got := d.U64s()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("u64s = %v", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	state, err := sr.Section("state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = NewDec(state)
+	if f := d.F64(); f != 0.25 {
+		t.Fatalf("f64 = %v", f)
+	}
+	if !d.Bool() {
+		t.Fatal("bool = false")
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderErrors(t *testing.T) {
+	data := writeSample(t, "test-kind", 1)
+
+	// Bad magic.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := NewReader(bytes.NewReader(bad), "test-kind"); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	// Future version.
+	bad = append([]byte(nil), data...)
+	bad[8] = 99
+	if _, err := NewReader(bytes.NewReader(bad), "test-kind"); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	// Wrong kind.
+	if _, err := NewReader(bytes.NewReader(data), "other-kind"); !errors.Is(err, ErrSnapshotConfigMismatch) {
+		t.Fatalf("wrong kind: %v", err)
+	}
+
+	// Truncated header.
+	if _, err := NewReader(bytes.NewReader(data[:10]), "test-kind"); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("short header: %v", err)
+	}
+}
+
+func TestSectionErrors(t *testing.T) {
+	data := writeSample(t, "k", 1)
+
+	// Every truncation point must yield ErrSnapshotCorrupt from some stage.
+	for cut := len(data) - 1; cut > 36; cut -= 7 { // header is 36 bytes
+		sr, err := NewReader(bytes.NewReader(data[:cut]), "k")
+		if err != nil {
+			t.Fatalf("cut %d: header: %v", cut, err)
+		}
+		if _, err = sr.Section("meta"); err == nil {
+			if _, err = sr.Section("state"); err == nil {
+				err = sr.Close()
+			}
+		}
+		if !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("cut %d: want corrupt, got %v", cut, err)
+		}
+	}
+
+	// Flipped payload byte breaks the CRC.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0x40
+	sr, err := NewReader(bytes.NewReader(bad), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = sr.Section("meta"); err == nil {
+		_, err = sr.Section("state")
+	}
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("bit flip: want corrupt, got %v", err)
+	}
+
+	// Wrong section order.
+	sr, err = NewReader(bytes.NewReader(data), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Section("state"); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("out-of-order section: %v", err)
+	}
+
+	// Trailing garbage after the last section.
+	withTail := append(append([]byte(nil), data...), 0xaa)
+	sr, err = NewReader(bytes.NewReader(withTail), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Section("meta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr.Section("state"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Close(); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+}
+
+func TestDecBounds(t *testing.T) {
+	// A length prefix larger than the remaining payload must fail cleanly
+	// without allocating the claimed size.
+	var e Enc
+	e.U64(1 << 60) // slice length claim
+	d := NewDec(e.Data())
+	if s := d.U64s(); s != nil {
+		t.Fatalf("got slice of %d", len(s))
+	}
+	if !errors.Is(d.Err(), ErrSnapshotCorrupt) {
+		t.Fatalf("err = %v", d.Err())
+	}
+
+	// U64sInto enforces exact geometry.
+	e.Reset()
+	e.U64s([]uint64{1, 2})
+	d = NewDec(e.Data())
+	dst := make([]uint64, 3)
+	d.U64sInto(dst)
+	if !errors.Is(d.Err(), ErrSnapshotCorrupt) {
+		t.Fatalf("geometry mismatch: %v", d.Err())
+	}
+
+	// Trailing payload bytes are corrupt.
+	e.Reset()
+	e.U64(7)
+	e.U64(8)
+	d = NewDec(e.Data())
+	_ = d.U64()
+	if err := d.Finish(); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("trailing: %v", err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	type fixed struct {
+		A uint64
+		B [3]uint64
+	}
+	in := fixed{A: 9, B: [3]uint64{1, 2, 3}}
+	var e Enc
+	e.Binary(&in)
+	var out fixed
+	d := NewDec(e.Data())
+	d.Binary(&out)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+
+	// Short binary payload fails typed.
+	d = NewDec(e.Data()[:len(e.Data())-4])
+	var short fixed
+	d.Binary(&short)
+	if !errors.Is(d.Err(), ErrSnapshotCorrupt) {
+		t.Fatalf("short binary: %v", d.Err())
+	}
+}

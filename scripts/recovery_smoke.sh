@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test of the rmccd checkpoint stack (CI:
+# recovery-smoke):
+#
+#   1. build rmccd + rmcc-loadgen,
+#   2. boot the daemon with -snapshot-dir and a fast periodic checkpoint
+#      interval,
+#   3. drive 4 sessions and SIGKILL the daemon mid-replay from inside the
+#      load generator (-crash-after/-crash-pid) — an ungraceful death with
+#      whatever checkpoints the periodic cycle managed to cut,
+#   4. sabotage the checkpoint dir: truncate one session's file mid-state
+#      (meta survives -> fresh-session fallback) and drop in a garbage
+#      file (no meta -> skipped),
+#   5. restart the daemon over the same dir and require the sessions back,
+#   6. top every recovered session up to the full access target with
+#      rmcc-loadgen -resume -check: the final engine stats must be
+#      bit-identical to an uninterrupted direct simulation — the restored
+#      state is exact, not approximate,
+#   7. assert the daemon logged the recovery (including the typed-error
+#      fallback for the sabotaged file), then SIGTERM and require a clean
+#      drain that cuts final checkpoints.
+#
+# Usage: scripts/recovery_smoke.sh  [sessions] [accesses]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sessions="${1:-4}"
+accesses="${2:-200000}"
+crash_after=$((sessions * accesses / 8))
+workdir="$(mktemp -d)"
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+echo "recovery-smoke: building rmccd and rmcc-loadgen" >&2
+go build -o "$workdir/rmccd" ./cmd/rmccd
+go build -o "$workdir/rmcc-loadgen" ./cmd/rmcc-loadgen
+
+snapdir="$workdir/snapshots"
+
+start_daemon() {
+    "$workdir/rmccd" -addr 127.0.0.1:0 -port-file "$workdir/addr" -drain 10s \
+        -snapshot-dir "$snapdir" -snapshot-every 150ms \
+        -log-level info -log-format json \
+        2>> "$1" &
+    daemon_pid=$!
+    rm -f "$workdir/addr.prev"
+    for _ in $(seq 1 100); do
+        [ -s "$workdir/addr" ] && break
+        sleep 0.1
+    done
+    addr="$(cat "$workdir/addr")"
+}
+
+: > "$workdir/addr"
+start_daemon "$workdir/rmccd1.log"
+echo "recovery-smoke: rmccd (pid $daemon_pid) on $addr, snapshots in $snapdir" >&2
+
+echo "recovery-smoke: $sessions sessions x $accesses accesses, SIGKILL after $crash_after aggregate" >&2
+"$workdir/rmcc-loadgen" -addr "$addr" -sessions "$sessions" \
+    -workload canneal -size test -accesses "$accesses" -keep \
+    -crash-after "$crash_after" -crash-pid "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+
+snaps=$(ls "$snapdir"/*.snap 2>/dev/null | wc -l)
+echo "recovery-smoke: daemon killed; $snaps checkpoint files survived" >&2
+if [ "$snaps" -lt 1 ]; then
+    echo "recovery-smoke: no checkpoints were cut before the crash" >&2
+    cat "$workdir/rmccd1.log" >&2
+    exit 1
+fi
+
+# Sabotage: truncate one checkpoint's state (its meta section survives, so
+# recovery must fall back to a fresh session under the same ID) and plant
+# pure garbage (no meta: recovery must skip it, not die).
+victim="$(ls "$snapdir"/*.snap | head -1)"
+size=$(wc -c < "$victim")
+truncate -s $((size - 64)) "$victim"
+echo "not a snapshot" > "$snapdir/s-deadbeef.snap"
+echo "recovery-smoke: truncated $(basename "$victim") and planted garbage checkpoint" >&2
+
+: > "$workdir/addr"
+start_daemon "$workdir/rmccd2.log"
+echo "recovery-smoke: restarted rmccd (pid $daemon_pid) on $addr" >&2
+
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+
+recovered=$(curl -fsS "http://$addr/v1/sessions" | grep -c '"id"')
+if [ "$recovered" -ne "$sessions" ]; then
+    echo "recovery-smoke: recovered $recovered sessions, want $sessions" >&2
+    cat "$workdir/rmccd2.log" >&2
+    exit 1
+fi
+
+echo "recovery-smoke: resuming all $recovered sessions to $accesses accesses with -check" >&2
+"$workdir/rmcc-loadgen" -addr "$addr" -resume -keep \
+    -workload canneal -size test -accesses "$accesses" -check
+
+grep -q '"msg":"session recovered"' "$workdir/rmccd2.log" \
+    || { echo "recovery-smoke: daemon log missing recovery lines" >&2; cat "$workdir/rmccd2.log" >&2; exit 1; }
+grep -q 'recovered fresh session' "$workdir/rmccd2.log" \
+    || { echo "recovery-smoke: daemon log missing fresh-session fallback for truncated checkpoint" >&2; cat "$workdir/rmccd2.log" >&2; exit 1; }
+grep -q 'checkpoint unreadable, skipping' "$workdir/rmccd2.log" \
+    || { echo "recovery-smoke: daemon log missing skip line for garbage checkpoint" >&2; cat "$workdir/rmccd2.log" >&2; exit 1; }
+grep -q 'snapshot corrupt' "$workdir/rmccd2.log" \
+    || { echo "recovery-smoke: daemon log missing typed snapshot error" >&2; cat "$workdir/rmccd2.log" >&2; exit 1; }
+
+echo "recovery-smoke: SIGTERM -> expecting clean drain with final checkpoints" >&2
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "recovery-smoke: rmccd exited $status (want 0)" >&2
+    cat "$workdir/rmccd2.log" >&2
+    exit 1
+fi
+grep -q '"msg":"final checkpoint"' "$workdir/rmccd2.log" \
+    || { echo "recovery-smoke: daemon log missing final-checkpoint line" >&2; cat "$workdir/rmccd2.log" >&2; exit 1; }
+
+final=$(ls "$snapdir"/*.snap 2>/dev/null | grep -cv deadbeef)
+if [ "$final" -ne "$sessions" ]; then
+    echo "recovery-smoke: $final final checkpoints on disk, want $sessions" >&2
+    exit 1
+fi
+
+echo "recovery-smoke: PASS" >&2

@@ -14,7 +14,10 @@
 #   6. replay once more over the NDJSON streaming-upload path,
 #   7. SIGTERM the daemon and require a clean graceful drain: exit 0
 #      within the drain deadline, plus structured log lines carrying a
-#      session field.
+#      session field,
+#   8. assert the drain cut a final checkpoint of every kept session, then
+#      restart the daemon over the same snapshot dir and require all of
+#      them back at their full access counts.
 #
 # Usage: scripts/service_smoke.sh  [sessions] [accesses]
 set -euo pipefail
@@ -34,6 +37,7 @@ go build -o "$workdir/rmcc-top" ./cmd/rmcc-top
 # Start the daemon directly (no subshell) so `wait` can retrieve its real
 # exit status later.
 "$workdir/rmccd" -addr 127.0.0.1:0 -port-file "$workdir/addr" -drain 10s \
+    -snapshot-dir "$workdir/snapshots" \
     -log-level info -log-format json \
     -debug-addr 127.0.0.1:0 -debug-port-file "$workdir/debug_addr" \
     2> "$workdir/rmccd.log" &
@@ -93,5 +97,40 @@ grep -q 'shutdown complete' "$workdir/rmccd.log" \
     || { echo "service-smoke: daemon log missing 'shutdown complete'" >&2; cat "$workdir/rmccd.log" >&2; exit 1; }
 grep -q '"session":"s-' "$workdir/rmccd.log" \
     || { echo "service-smoke: daemon log missing structured session fields" >&2; cat "$workdir/rmccd.log" >&2; exit 1; }
+
+echo "service-smoke: drain must have checkpointed every kept session" >&2
+grep -q '"msg":"final checkpoint"' "$workdir/rmccd.log" \
+    || { echo "service-smoke: daemon log missing final-checkpoint line" >&2; cat "$workdir/rmccd.log" >&2; exit 1; }
+snaps=$(ls "$workdir/snapshots"/*.snap 2>/dev/null | wc -l)
+if [ "$snaps" -ne "$sessions" ]; then
+    echo "service-smoke: $snaps checkpoint files after drain, want $sessions" >&2
+    exit 1
+fi
+
+echo "service-smoke: restart over the same snapshot dir -> sessions recovered" >&2
+: > "$workdir/addr"
+"$workdir/rmccd" -addr 127.0.0.1:0 -port-file "$workdir/addr" -drain 10s \
+    -snapshot-dir "$workdir/snapshots" \
+    -log-level info -log-format json \
+    2> "$workdir/rmccd2.log" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    sleep 0.1
+done
+addr="$(cat "$workdir/addr")"
+for _ in $(seq 1 100); do
+    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+recovered=$(curl -fsS "http://$addr/v1/sessions" | grep -c "\"accesses\": $accesses")
+if [ "$recovered" -ne "$sessions" ]; then
+    echo "service-smoke: $recovered recovered sessions at $accesses accesses, want $sessions" >&2
+    curl -fsS "http://$addr/v1/sessions" >&2 || true
+    cat "$workdir/rmccd2.log" >&2
+    exit 1
+fi
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "service-smoke: recovered daemon drain failed" >&2; exit 1; }
 
 echo "service-smoke: PASS" >&2
