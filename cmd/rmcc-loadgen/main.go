@@ -165,6 +165,14 @@ func main() {
 	results := make([]result, *sessions)
 	start := time.Now()
 	var wg sync.WaitGroup
+	// Create barrier: every session exists (and, on a -snapshot-dir daemon,
+	// has its durable birth checkpoint) before the first replay starts. This
+	// keeps -crash-after deterministic — the SIGKILL always finds all N
+	// sessions on disk — instead of racing slow creates against fast replays.
+	var created sync.WaitGroup
+	if !*resume {
+		created.Add(*sessions)
+	}
 	for i := 0; i < *sessions; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -203,12 +211,14 @@ func main() {
 				return
 			}
 			info, err := c.CreateSession(ctx, scfg)
+			created.Done()
 			if err != nil {
 				r.err = fmt.Errorf("create: %w", err)
 				return
 			}
 			r.id = info.ID
 			lg.Debug("session created", "session", info.ID, "shard", info.Shard)
+			created.Wait()
 			t0 := time.Now()
 			for k := 0; k < *replays && r.err == nil; k++ {
 				rt0 := time.Now()

@@ -126,11 +126,7 @@ func (s *Server) checkpointSession(ctx context.Context, sess *session) error {
 	start := time.Now()
 	accesses, err := s.encodeCheckpoint(ctx, sess)
 	if err == nil {
-		path := s.checkpointPath(sess.id)
-		tmp := path + ".tmp"
-		if err = os.WriteFile(tmp, sess.ckptBuf.Bytes(), 0o644); err == nil {
-			err = os.Rename(tmp, path)
-		}
+		err = writeFileDurable(s.checkpointPath(sess.id), sess.ckptBuf.Bytes())
 	}
 	if err != nil {
 		s.mSnapshotFailWrite.Inc()
@@ -144,6 +140,36 @@ func (s *Server) checkpointSession(ctx context.Context, sess *session) error {
 	sess.lastCkptNS.Store(s.cfg.Now().UnixNano())
 	sess.lastCkptBytes.Store(size)
 	sess.lastCkptAccesses.Store(accesses)
+	return nil
+}
+
+// writeFileDurable replaces path atomically and durably: write to a
+// sibling tmp file, fsync it, rename over the target, then fsync the
+// directory so the rename itself survives power loss — tmp+rename alone
+// only protects against process crashes, not a torn page cache.
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if dir, derr := os.Open(filepath.Dir(path)); derr == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
 	return nil
 }
 
@@ -307,6 +333,11 @@ func (s *Server) restoreSession(data []byte) (*session, error) {
 	if err := sr.Close(); err != nil {
 		return nil, err
 	}
+	// Both cursors start at the checkpointed value: pulled is what the next
+	// checkpoint persists (it must never rewind to zero just because the
+	// lazily created stream has not been rebuilt yet), skipPulled is how far
+	// the rebuilt stream fast-forwards before serving new accesses.
+	sess.pulled = meta.Pulled
 	sess.skipPulled = meta.Pulled
 	sess.accessesDone.Store(sess.lt.Accesses())
 	// Nothing else owns the simulator yet; seed the listing mirrors so a

@@ -92,6 +92,59 @@ func TestCheckpointRestoreRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRestoreThenCheckpointKeepsCursor covers the restore→checkpoint
+// ordering hazard: a checkpoint cut on a restored session before its first
+// replay (handleRestore cuts one immediately) must persist the restored
+// stream cursor, not zero — otherwise the next recovery replays the
+// deterministic stream from access 0 into an engine already at N and the
+// resumed run diverges.
+func TestRestoreThenCheckpointKeepsCursor(t *testing.T) {
+	dir := t.TempDir()
+	_, c1 := newTestServer(t, server.Config{SnapshotDir: dir})
+	ctx := context.Background()
+
+	info, err := c1.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.ReplayWorkload(ctx, info.ID, 5000, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c1.CheckpointDownload(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.DeleteSession(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Restore cuts an immediate durable checkpoint — before any replay has
+	// rebuilt the session's access stream.
+	if _, err := c1.RestoreSession(ctx, blob); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+
+	// A second daemon generation recovers from that immediate checkpoint;
+	// the remaining replay must still be bit-identical to an uninterrupted
+	// run.
+	_, c2 := newTestServer(t, server.Config{SnapshotDir: dir})
+	infos, err := c2.ListSessions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != info.ID || infos[0].Accesses != 5000 {
+		t.Fatalf("recovered sessions: %+v", infos)
+	}
+	stats, err := c2.ReplayWorkload(ctx, info.ID, 5000, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directStats(t, 10000)
+	if !reflect.DeepEqual(stats.Engine, want.Engine) {
+		t.Errorf("restore→checkpoint→recover run diverged from uninterrupted run:\ngot:  %+v\nwant: %+v",
+			stats.Engine, want.Engine)
+	}
+}
+
 func TestCrashRecovery(t *testing.T) {
 	dir := t.TempDir()
 	_, c1 := newTestServer(t, server.Config{SnapshotDir: dir})

@@ -168,8 +168,11 @@ func (s *Server) applyWorkloadChunk(ctx context.Context, sess *session, want uin
 			sess.stream = sim.NewAccessStream(func(sink workload.Sink) { w.Run(seed, sink) })
 			// Restored session: the stream is a pure function of
 			// (workload, seed), so fast-forward past the accesses the
-			// pre-crash incarnation already consumed.
-			for ; sess.pulled < sess.skipPulled; sess.pulled++ {
+			// pre-crash incarnation already consumed. A local counter, not
+			// sess.pulled: the restore path already set pulled to the
+			// checkpointed cursor so checkpoints cut before this point
+			// persist it, and advancing it here would double-count.
+			for skip := sess.skipPulled; skip > 0; skip-- {
 				if _, ok := sess.stream.Next(); !ok {
 					exhausted = true
 					break

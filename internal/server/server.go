@@ -268,7 +268,8 @@ func (s *Server) initMetrics() {
 	s.mSessionsRecovered = s.reg.Counter("rmccd_sessions_recovered_total",
 		"sessions rehydrated from checkpoints at startup")
 	s.mSnapshotDurationUS = s.reg.Histogram("rmccd_snapshot_duration_us",
-		"checkpoint encode+fsync latency in microseconds", obs.Pow2Buckets(4, 26))
+		"checkpoint cut latency in microseconds (encode plus fsynced write for durable checkpoints; encode only for inline downloads)",
+		obs.Pow2Buckets(4, 26))
 	s.mSnapshotBytes = s.reg.Histogram("rmccd_snapshot_bytes",
 		"encoded checkpoint size in bytes", obs.Pow2Buckets(10, 32))
 	s.reg.GaugeFunc("rmccd_uptime_seconds", "seconds since the daemon started",

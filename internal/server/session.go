@@ -38,10 +38,12 @@ type session struct {
 	// on first workload replay so successive replays continue one
 	// deterministic stream. Closed at eviction.
 	stream *sim.AccessStream
-	// pulled counts accesses drawn from the bound generator's stream
-	// (shard-owned). It is the resume cursor: the stream is a pure
-	// function of (workload, seed), so a restored session recreates it and
-	// discards skipPulled accesses before continuing.
+	// pulled counts accesses drawn from the bound generator's logical
+	// stream across incarnations (shard-owned). It is the checkpointed
+	// resume cursor: restore seeds it from the snapshot so it is valid
+	// even before the stream is lazily rebuilt, and the stream — a pure
+	// function of (workload, seed) — discards skipPulled accesses before
+	// continuing.
 	pulled uint64
 	// skipPulled is the restored cursor a lazily created stream must skip
 	// past (set once at restore, read on the shard goroutine).

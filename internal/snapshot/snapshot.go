@@ -191,12 +191,18 @@ func (sr *Reader) Section(tag string) ([]byte, error) {
 }
 
 // Close verifies the stream ends exactly after the last section.
+// io.ReadFull (rather than one Read call) so readers that legally return
+// (0, nil) cannot smuggle trailing bytes past the check.
 func (sr *Reader) Close() error {
 	var b [1]byte
-	if n, err := sr.r.Read(b[:]); n > 0 || (err != nil && err != io.EOF) {
+	switch _, err := io.ReadFull(sr.r, b[:]); err {
+	case io.EOF:
+		return nil
+	case nil:
 		return fmt.Errorf("%w: trailing bytes after final section", ErrSnapshotCorrupt)
+	default:
+		return fmt.Errorf("%w: reading stream tail: %v", ErrSnapshotCorrupt, err)
 	}
-	return nil
 }
 
 // Enc builds a section payload from primitive values. The zero value is
