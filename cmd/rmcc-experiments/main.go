@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -37,6 +38,9 @@ import (
 	"rmcc/internal/obs"
 	"rmcc/internal/secmem/counter"
 	"rmcc/internal/secmem/engine"
+	"rmcc/internal/server"
+	"rmcc/internal/trace"
+	"rmcc/internal/workload"
 )
 
 func main() {
@@ -393,6 +397,36 @@ func microBenchmarks() []jsonMicro {
 				mc.Read(uint64(i) * (8 << 10) % (128 << 20))
 			}
 		}},
+		// The two replay-wire decoders, one 4096-access batch per op so
+		// their ns/op compare directly: NDJSON line scanning vs binary
+		// frame decoding of the same access stream.
+		{"replay_decode_ndjson", func(b *testing.B) {
+			lines := wireBatchNDJSON()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, line := range lines {
+					if _, err := server.DecodeAccess(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}},
+		{"replay_decode_binary", func(b *testing.B) {
+			frame := wireBatchFrame()
+			src := bytes.NewReader(frame)
+			fr := trace.NewFrameReader(src)
+			batch := make([]workload.Access, 0, trace.DefaultFrameAccesses)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Reset(frame)
+				var err error
+				if batch, err = fr.DecodeInto(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
 		{"memo_lookup", func(b *testing.B) {
 			unit := otp.MustNewUnit(otp.DeriveKeys([16]byte{1}, 16))
 			cfg := core.DefaultConfig()
@@ -420,6 +454,41 @@ func microBenchmarks() []jsonMicro {
 		})
 	}
 	return out
+}
+
+// wireBatch captures one frame's worth of canneal accesses for the
+// replay-decode micros.
+func wireBatch() []workload.Access {
+	w, _ := rmcc.WorkloadByName(rmcc.SizeTest, 1, "canneal")
+	accs := make([]workload.Access, 0, trace.DefaultFrameAccesses)
+	w.Run(1, func(a workload.Access) bool {
+		accs = append(accs, a)
+		return len(accs) < trace.DefaultFrameAccesses
+	})
+	return accs
+}
+
+func wireBatchNDJSON() [][]byte {
+	accs := wireBatch()
+	lines := make([][]byte, len(accs))
+	for i, a := range accs {
+		lines[i], _ = json.Marshal(server.AccessRecord{Addr: a.Addr, Write: a.Write, Gap: a.Gap})
+	}
+	return lines
+}
+
+func wireBatchFrame() []byte {
+	var buf bytes.Buffer
+	fw := trace.NewFrameWriter(&buf, trace.DefaultFrameAccesses)
+	for _, a := range wireBatch() {
+		if err := fw.Append(a); err != nil {
+			panic(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
 }
 
 func known(all []struct {

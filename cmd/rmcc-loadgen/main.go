@@ -6,15 +6,25 @@
 // bit-identical engine stats — the no-behavioral-drift guarantee of the
 // service layer.
 //
+// The replay wire is selectable: -wire=workload uses the server-side
+// generator (no body), -wire=ndjson streams the accesses as NDJSON, and
+// -wire=binary streams them as length-prefixed RMTR frames — the
+// high-throughput path, several bytes per access instead of a JSON
+// object. -trace-file replays a recorded rmcc-trace file instead of a
+// generator stream (and defaults the wire to binary).
+//
 // Examples:
 //
 //	rmcc-loadgen -addr http://127.0.0.1:8077 -sessions 8 -workload canneal -accesses 50000
 //	rmcc-loadgen -addr http://$ADDR -sessions 8 -size test -check -metrics-out -
-//	rmcc-loadgen -ndjson -sessions 4        # exercise the streaming-upload path
-//	rmcc-loadgen -replays 16 -accesses 5000 # 16 latency samples per session
+//	rmcc-loadgen -wire ndjson -sessions 4      # exercise the streaming-upload path
+//	rmcc-loadgen -wire binary -sessions 4      # binary frames from the local generator
+//	rmcc-loadgen -trace-file canneal.rmtr -check  # replay a recorded trace (binary wire)
+//	rmcc-loadgen -replays 16 -accesses 5000    # 16 latency samples per session
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"os"
@@ -33,6 +43,7 @@ import (
 	"rmcc/internal/obs"
 	"rmcc/internal/server"
 	"rmcc/internal/server/client"
+	"rmcc/internal/trace"
 	"rmcc/internal/workload"
 )
 
@@ -47,7 +58,9 @@ func main() {
 		accesses   = flag.Uint64("accesses", 50_000, "accesses to replay per request")
 		replays    = flag.Int("replays", 1, "sequential replay requests per session (each a latency sample; the stream continues across them)")
 		seed       = flag.Uint64("seed", 1, "simulation seed (all sessions share it)")
-		ndjson     = flag.Bool("ndjson", false, "stream the accesses as NDJSON instead of using the server-side generator")
+		wireStr    = flag.String("wire", "workload", "replay wire: workload (server-side generator) | ndjson | binary (RMTR frames)")
+		traceFile  = flag.String("trace-file", "", "replay this rmcc-trace file instead of a generator stream (defaults -wire to binary)")
+		ndjson     = flag.Bool("ndjson", false, "deprecated alias for -wire ndjson")
 		check      = flag.Bool("check", false, "run the same simulation in-process and require bit-identical engine stats")
 		crashAfter = flag.Uint64("crash-after", 0, "SIGKILL -crash-pid once this many aggregate accesses have applied (crash-recovery testing; exit 0 means the kill fired)")
 		crashPID   = flag.Int("crash-pid", 0, "daemon PID to kill for -crash-after")
@@ -88,12 +101,88 @@ func main() {
 		fatal(fmt.Errorf("daemon not healthy at %s: %w", base, err))
 	}
 
+	// Resolve the replay wire. -ndjson stays as a compatibility alias;
+	// -trace-file selects the binary wire unless one was named explicitly.
+	wire := *wireStr
+	wireSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "wire" {
+			wireSet = true
+		}
+	})
+	if *ndjson {
+		if wireSet && wire != "ndjson" {
+			fatal(fmt.Errorf("-ndjson conflicts with -wire %s", wire))
+		}
+		wire = "ndjson"
+	}
+	if *traceFile != "" && !wireSet && wire == "workload" {
+		wire = "binary"
+	}
+	switch wire {
+	case "workload", "ndjson", "binary":
+	default:
+		fatal(fmt.Errorf("unknown -wire %q (want workload, ndjson, or binary)", wire))
+	}
+	if *traceFile != "" && wire == "workload" {
+		fatal(fmt.Errorf("-trace-file needs a body wire (-wire ndjson or binary)"))
+	}
+
+	// Load the replay source once, up front. A trace file provides both
+	// the raw RMTR bytes (reframed per binary replay without re-decoding)
+	// and the decoded stream (NDJSON wire, footprint, -check); generator
+	// streams are captured locally for the body wires.
+	var (
+		stream     []workload.Access // decoded accesses for the body wires
+		traceBytes []byte            // raw RMTR file, binary trace replays
+		rep        *trace.Replay     // loaded trace (nil without -trace-file)
+	)
+	if *traceFile != "" {
+		b, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		traceBytes = b
+		if rep, err = trace.Load(bytes.NewReader(traceBytes)); err != nil {
+			fatal(err)
+		}
+		if wire == "ndjson" {
+			stream = make([]workload.Access, 0, rep.Len())
+			rep.Run(*seed, func(a workload.Access) bool {
+				stream = append(stream, a)
+				return len(stream) < rep.Len()
+			})
+		}
+	} else if wire != "workload" {
+		size, err := server.ParseSize(*sizeStr)
+		if err != nil {
+			fatal(err)
+		}
+		w, ok := rmcc.WorkloadByName(size, *seed, *name)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *name))
+		}
+		stream = make([]workload.Access, 0, *accesses)
+		w.Run(*seed, func(a workload.Access) bool {
+			stream = append(stream, a)
+			return uint64(len(stream)) < *accesses
+		})
+	}
+
 	scfg := server.SessionConfig{
 		Mode:     *modeStr,
 		Scheme:   *schemeStr,
 		Seed:     *seed,
 		Workload: *name,
 		Size:     *sizeStr,
+	}
+	if rep != nil {
+		// Trace sessions declare their footprint instead of binding a
+		// generator, exactly like any other streaming client.
+		scfg = server.SessionConfig{
+			Mode: *modeStr, Scheme: *schemeStr, Seed: *seed,
+			FootprintBytes: rep.FootprintBytes(), Label: rep.Name(),
+		}
 	}
 
 	// -crash-after wires a SIGKILL trigger into the progress stream: once
@@ -107,8 +196,8 @@ func main() {
 		if *crashPID <= 0 {
 			fatal(fmt.Errorf("-crash-after requires -crash-pid"))
 		}
-		if *ndjson {
-			fatal(fmt.Errorf("-crash-after is not supported with -ndjson"))
+		if wire != "workload" {
+			fatal(fmt.Errorf("-crash-after is not supported with -wire %s (progress frames drive the kill)", wire))
 		}
 		progressEvery = 500
 		mkProgress = func() func(uint64) {
@@ -141,25 +230,6 @@ func main() {
 		sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
 		resumeInfos = infos
 		*sessions = len(infos)
-	}
-
-	// For -ndjson the client generates the access stream locally (the
-	// same deterministic generator the server would run) and uploads it.
-	var stream []workload.Access
-	if *ndjson {
-		size, err := server.ParseSize(*sizeStr)
-		if err != nil {
-			fatal(err)
-		}
-		w, ok := rmcc.WorkloadByName(size, *seed, *name)
-		if !ok {
-			fatal(fmt.Errorf("unknown workload %q", *name))
-		}
-		stream = make([]workload.Access, 0, *accesses)
-		w.Run(*seed, func(a workload.Access) bool {
-			stream = append(stream, a)
-			return uint64(len(stream)) < *accesses
-		})
 	}
 
 	results := make([]result, *sessions)
@@ -222,12 +292,19 @@ func main() {
 			t0 := time.Now()
 			for k := 0; k < *replays && r.err == nil; k++ {
 				rt0 := time.Now()
-				if *ndjson {
-					// NDJSON sessions replay the same captured stream each
-					// request (the -check contract only covers -replays 1
-					// here; the workload path continues one stream).
+				// Body wires re-upload the same captured stream each request
+				// (for traces that matches trace.Replay's looping semantics
+				// exactly; for generator streams the -check contract only
+				// covers -replays 1). The workload wire continues one
+				// server-side stream across requests.
+				switch {
+				case wire == "binary" && traceBytes != nil:
+					r.stats, r.err = c.ReplayTrace(ctx, info.ID, bytes.NewReader(traceBytes))
+				case wire == "binary":
+					r.stats, r.err = c.ReplayAccessesBinary(ctx, info.ID, stream)
+				case wire == "ndjson":
 					r.stats, r.err = c.ReplayAccesses(ctx, info.ID, stream)
-				} else {
+				default:
 					r.stats, r.err = c.ReplayWorkload(ctx, info.ID, *accesses, progressEvery, onp)
 				}
 				if r.err == nil {
@@ -288,14 +365,37 @@ func main() {
 	}
 
 	if *check {
-		wantAccesses := *accesses
-		if !*ndjson {
+		var directW workload.Workload
+		var wantAccesses uint64
+		switch {
+		case rep != nil:
+			// Trace replays loop the recorded stream, so K uploads equal a
+			// direct run of len×K accesses over the same looping workload —
+			// exact for any -replays.
+			directW = rep
+			wantAccesses = uint64(rep.Len()) * uint64(*replays)
+		case wire != "workload":
+			// Generator body wires re-upload the same captured prefix each
+			// request; only -replays 1 matches a direct run.
+			wantAccesses = *accesses
+		default:
 			// Sequential workload replays continue one deterministic
 			// stream, so the final cumulative stats equal one direct run
 			// of replays×accesses.
 			wantAccesses = *accesses * uint64(*replays)
 		}
-		if err := checkEquivalence(results[0].stats, *name, *sizeStr, *modeStr, *schemeStr, *seed, wantAccesses); err != nil {
+		if directW == nil {
+			size, err := server.ParseSize(*sizeStr)
+			if err != nil {
+				fatal(err)
+			}
+			w, ok := rmcc.WorkloadByName(size, *seed, *name)
+			if !ok {
+				fatal(fmt.Errorf("unknown workload %q", *name))
+			}
+			directW = w
+		}
+		if err := checkEquivalence(results[0].stats, directW, *modeStr, *schemeStr, *seed, wantAccesses); err != nil {
 			fatal(err)
 		}
 		for _, r := range results[1:] {
@@ -378,13 +478,10 @@ func latencyMetrics(results []result, allDurs []float64) string {
 }
 
 // checkEquivalence reruns the first session's simulation in-process
-// through the public sim driver and requires identical stats: the service
-// layer must add no behavioral drift.
-func checkEquivalence(got server.ReplayStats, name, sizeStr, modeStr, schemeStr string, seed, accesses uint64) error {
-	size, err := server.ParseSize(sizeStr)
-	if err != nil {
-		return err
-	}
+// through the public sim driver (over w — a generator or a loaded trace)
+// and requires identical stats: the service layer must add no behavioral
+// drift, on any wire.
+func checkEquivalence(got server.ReplayStats, w workload.Workload, modeStr, schemeStr string, seed, accesses uint64) error {
 	mode, err := server.ParseMode(modeStr)
 	if err != nil {
 		return err
@@ -392,10 +489,6 @@ func checkEquivalence(got server.ReplayStats, name, sizeStr, modeStr, schemeStr 
 	scheme, err := server.ParseScheme(schemeStr)
 	if err != nil {
 		return err
-	}
-	w, ok := rmcc.WorkloadByName(size, seed, name)
-	if !ok {
-		return fmt.Errorf("unknown workload %q", name)
 	}
 	engCfg := rmcc.DefaultEngineConfig(mode, scheme)
 	engCfg.InitSeed = seed

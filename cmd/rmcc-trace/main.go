@@ -2,25 +2,36 @@
 // files and inspects or replays them through the lifetime simulator —
 // the Pin-trace role in the paper's methodology.
 //
+// It also converts between the two replay wire encodings: -encode turns
+// an NDJSON access stream (the rmccd replay body format) into an RMTR
+// trace, -decode turns a trace back into NDJSON — so any tooling that
+// speaks one format can feed the other.
+//
 // Examples:
 //
 //	rmcc-trace -record -workload canneal -n 1000000 -o canneal.rmtr
 //	rmcc-trace -info canneal.rmtr
 //	rmcc-trace -replay canneal.rmtr -mode rmcc
+//	rmcc-trace -encode accesses.ndjson -label canneal -o canneal.rmtr
+//	rmcc-trace -decode canneal.rmtr            # NDJSON on stdout
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 
 	"rmcc"
 	"rmcc/internal/buildinfo"
 	"rmcc/internal/secmem/counter"
 	"rmcc/internal/secmem/engine"
+	"rmcc/internal/server"
 	"rmcc/internal/sim"
 	"rmcc/internal/trace"
+	"rmcc/internal/workload"
 )
 
 func main() {
@@ -32,7 +43,10 @@ func main() {
 		sizeStr = flag.String("size", "small", "workload scale: test|small|full")
 		n       = flag.Uint64("n", 1_000_000, "accesses to record / replay")
 		seed    = flag.Uint64("seed", 1, "record seed")
-		out     = flag.String("o", "trace.rmtr", "output file for -record")
+		encode  = flag.String("encode", "", "convert an NDJSON access stream (file, or - for stdin) to an RMTR trace at -o")
+		decode  = flag.String("decode", "", "convert an RMTR trace to NDJSON (stdout unless -o is set)")
+		label   = flag.String("label", "ndjson", "stream name stored in the trace header for -encode")
+		out     = flag.String("o", "trace.rmtr", "output file for -record/-encode/-decode")
 		modeStr = flag.String("mode", "rmcc", "replay protection: nonsecure|baseline|rmcc")
 		version = flag.Bool("version", false, "print version and exit")
 	)
@@ -70,6 +84,56 @@ func main() {
 		defer f.Close()
 		summarize(f)
 
+	case *encode != "":
+		in := os.Stdin
+		if *encode != "-" {
+			f, err := os.Open(*encode)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		count, err := encodeNDJSON(in, f, *label)
+		if err != nil {
+			fatal(err)
+		}
+		st, _ := f.Stat()
+		fmt.Fprintf(os.Stderr, "encoded %d accesses to %s (%.2f B/access)\n",
+			count, *out, float64(st.Size())/float64(count))
+
+	case *decode != "":
+		f, err := os.Open(*decode)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		// NDJSON goes to stdout unless -o was given explicitly (the
+		// -record default "trace.rmtr" must not capture decode output).
+		dst := io.Writer(os.Stdout)
+		outSet := false
+		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "o" {
+				outSet = true
+			}
+		})
+		if outSet {
+			of, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer of.Close()
+			dst = of
+		}
+		if _, err := decodeToNDJSON(f, dst); err != nil {
+			fatal(err)
+		}
+
 	case *replay != "":
 		f, err := os.Open(*replay)
 		if err != nil {
@@ -93,6 +157,85 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// encodeNDJSON converts an NDJSON access stream into an RMTR trace named
+// label, using the same strict per-line decoder rmccd applies to replay
+// bodies. Gaps above the RMTR 7-bit field are clamped, as on the wire.
+func encodeNDJSON(in io.Reader, out io.Writer, label string) (uint64, error) {
+	bw := bufio.NewWriterSize(out, 256<<10)
+	tw, err := trace.NewWriter(bw, label)
+	if err != nil {
+		return 0, err
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var count, line uint64
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		a, err := server.DecodeAccess(raw)
+		if err != nil {
+			return count, fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := tw.Append(a); err != nil {
+			return count, err
+		}
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		return count, err
+	}
+	if err := tw.Flush(); err != nil {
+		return count, err
+	}
+	return count, bw.Flush()
+}
+
+// decodeToNDJSON renders an RMTR trace as NDJSON, one AccessRecord per
+// line, byte-identical to json.Marshal of the record (omitempty fields
+// included) so round-trips are exact.
+func decodeToNDJSON(in io.Reader, out io.Writer) (uint64, error) {
+	tr, err := trace.NewReader(in)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(out, 256<<10)
+	buf := make([]byte, 0, 64)
+	var count uint64
+	for {
+		a, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return count, err
+		}
+		buf = appendAccessNDJSON(buf[:0], a)
+		if _, err := bw.Write(buf); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, bw.Flush()
+}
+
+// appendAccessNDJSON formats one access exactly as json.Marshal formats
+// server.AccessRecord — "write" and "gap" omitted when zero.
+func appendAccessNDJSON(b []byte, a workload.Access) []byte {
+	b = append(b, `{"addr":`...)
+	b = strconv.AppendUint(b, a.Addr, 10)
+	if a.Write {
+		b = append(b, `,"write":true`...)
+	}
+	if a.Gap != 0 {
+		b = append(b, `,"gap":`...)
+		b = strconv.AppendUint(b, uint64(a.Gap), 10)
+	}
+	return append(b, '}', '\n')
 }
 
 func summarize(f *os.File) {

@@ -193,22 +193,6 @@ type AccessRecord struct {
 	Gap uint8 `json:"gap,omitempty"`
 }
 
-// DecodeAccess parses one NDJSON line strictly: unknown fields, trailing
-// data, out-of-range numbers are errors, never panics. Malformed input
-// must surface as a 4xx to the client, not reach a shard worker.
-func DecodeAccess(line []byte) (workload.Access, error) {
-	dec := json.NewDecoder(bytes.NewReader(line))
-	dec.DisallowUnknownFields()
-	var rec AccessRecord
-	if err := dec.Decode(&rec); err != nil {
-		return workload.Access{}, fmt.Errorf("access record: %w", err)
-	}
-	if dec.More() {
-		return workload.Access{}, fmt.Errorf("access record: trailing data after object")
-	}
-	return workload.Access{Addr: rec.Addr, Write: rec.Write, Gap: rec.Gap}, nil
-}
-
 // SessionInfo describes one live session (create response, listings).
 // The rate and latency fields are live lock-free mirrors refreshed after
 // each applied replay chunk — the data rmcc-top renders without touching

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"rmcc/internal/server"
+	"rmcc/internal/trace"
 	"rmcc/internal/workload"
 )
 
@@ -196,6 +197,62 @@ func (c *Client) ReplayAccesses(ctx context.Context, id string, accs []workload.
 		pw.CloseWithError(err)
 	}()
 	return c.ReplayNDJSON(ctx, id, pr)
+}
+
+// ReplayAccessesBinary streams accesses over the binary replay wire
+// (length-prefixed RMTR frames) and returns the rolled-up stats. Framing
+// happens on a pipe goroutine, so the upload backpressures against the
+// daemon's apply loop exactly like the NDJSON path — but at a few bytes
+// per access instead of a JSON object.
+func (c *Client) ReplayAccessesBinary(ctx context.Context, id string, accs []workload.Access) (server.ReplayStats, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		bw := bufio.NewWriterSize(pw, 64<<10)
+		fw := trace.NewFrameWriter(bw, trace.DefaultFrameAccesses)
+		var err error
+		for _, a := range accs {
+			if err = fw.Append(a); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = fw.Flush()
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		pw.CloseWithError(err)
+	}()
+	return c.ReplayBinary(ctx, id, pr)
+}
+
+// ReplayTrace streams an RMTR trace file (the rmcc-trace -record format)
+// to a session over the binary wire, reframing it on the fly — the trace
+// header is stripped and the body re-chunked into length-prefixed frames
+// without re-encoding any access.
+func (c *Client) ReplayTrace(ctx context.Context, id string, tr io.Reader) (server.ReplayStats, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		bw := bufio.NewWriterSize(pw, 64<<10)
+		_, err := trace.Reframe(tr, bw, trace.DefaultFrameAccesses)
+		if err == nil {
+			err = bw.Flush()
+		}
+		pw.CloseWithError(err)
+	}()
+	return c.ReplayBinary(ctx, id, pr)
+}
+
+// ReplayBinary streams a raw binary replay body (already framed —
+// trace.FrameWriter output) with the binary content type.
+func (c *Client) ReplayBinary(ctx context.Context, id string, body io.Reader) (server.ReplayStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/sessions/"+id+"/replay", body)
+	if err != nil {
+		return server.ReplayStats{}, err
+	}
+	req.Header.Set("Content-Type", server.ContentTypeBinaryReplay)
+	return c.replay(req, false, nil)
 }
 
 // ReplayNDJSON streams a raw NDJSON body (one AccessRecord per line).

@@ -3,7 +3,6 @@ package server
 import (
 	"strings"
 	"testing"
-	"unicode/utf8"
 )
 
 // FuzzDecodeSessionConfig: arbitrary bytes must either decode cleanly or
@@ -55,13 +54,16 @@ func FuzzDecodeAccess(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Decoded records must round-trip into the simulator's access type
-		// without information loss (Gap is uint8 by construction).
-		_ = a
-		if !utf8.Valid(line) {
-			// encoding/json accepts some invalid UTF-8 by replacement;
-			// that's fine as long as it didn't panic.
-			return
+		// Differential property: the hand-rolled scanner accepts a strict
+		// subset of what the encoding/json implementation accepted, with
+		// identical decoded values. Any line the fast path takes, the
+		// oracle must take too — otherwise the scanner invented syntax.
+		std, stdErr := decodeAccessJSON(line)
+		if stdErr != nil {
+			t.Fatalf("fast decoder accepted %q but encoding/json rejects it: %v", line, stdErr)
+		}
+		if a != std {
+			t.Fatalf("decoders disagree on %q: fast = %+v, std = %+v", line, a, std)
 		}
 	})
 }

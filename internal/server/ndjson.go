@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"rmcc/internal/workload"
+)
+
+// DecodeAccess parses one NDJSON line strictly: unknown fields, trailing
+// data, out-of-range numbers are errors, never panics. Malformed input
+// must surface as a 4xx to the client, not reach a shard worker.
+//
+// This is a hand-rolled scanner, not encoding/json: the NDJSON shim
+// decodes one object per access on the replay hot path, and a fresh
+// json.Decoder + bytes.Reader per line cost five allocations each
+// (BenchmarkDecodeAccessJSON vs BenchmarkDecodeAccess). The scanner
+// accepts a strict subset of what encoding/json accepted — field names
+// must be exact (no case folding, no escapes) and numbers must be plain
+// decimal integers — and is byte-for-byte value-compatible on that
+// subset, a property FuzzDecodeAccess enforces differentially against
+// the retained encoding/json implementation.
+func DecodeAccess(line []byte) (workload.Access, error) {
+	var a workload.Access
+	i := skipJSONSpace(line, 0)
+	if i < len(line) && line[i] == 'n' {
+		// encoding/json treats a top-level null as a no-op decode; keep
+		// that (it falls out of the struct-decode semantics, and the
+		// differential fuzz property pins it).
+		if !bytes.HasPrefix(line[i:], []byte("null")) {
+			return a, errAccessSyntax
+		}
+		if i = skipJSONSpace(line, i+4); i != len(line) {
+			return a, errAccessTrailing
+		}
+		return a, nil
+	}
+	if i >= len(line) || line[i] != '{' {
+		return a, errAccessSyntax
+	}
+	i = skipJSONSpace(line, i+1)
+	if i < len(line) && line[i] == '}' {
+		i++
+	} else {
+		for {
+			key, rest, err := scanJSONKey(line, i)
+			if err != nil {
+				return a, err
+			}
+			i = skipJSONSpace(line, rest)
+			if i >= len(line) || line[i] != ':' {
+				return a, errAccessSyntax
+			}
+			i = skipJSONSpace(line, i+1)
+			switch key {
+			case fieldAddr:
+				v, rest, null, err := scanJSONUint(line, i, ^uint64(0), "addr")
+				if err != nil {
+					return a, err
+				}
+				if !null {
+					a.Addr = v
+				}
+				i = rest
+			case fieldGap:
+				v, rest, null, err := scanJSONUint(line, i, 255, "gap")
+				if err != nil {
+					return a, err
+				}
+				if !null {
+					a.Gap = uint8(v)
+				}
+				i = rest
+			case fieldWrite:
+				v, rest, null, err := scanJSONBool(line, i)
+				if err != nil {
+					return a, err
+				}
+				if !null {
+					a.Write = v
+				}
+				i = rest
+			}
+			i = skipJSONSpace(line, i)
+			if i >= len(line) {
+				return a, errAccessSyntax
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			if line[i] != ',' {
+				return a, errAccessSyntax
+			}
+			i = skipJSONSpace(line, i+1)
+		}
+	}
+	if i = skipJSONSpace(line, i); i != len(line) {
+		return a, errAccessTrailing
+	}
+	return a, nil
+}
+
+// Known access-record fields; scanJSONKey returns one of these.
+type accessField uint8
+
+const (
+	fieldAddr accessField = iota
+	fieldWrite
+	fieldGap
+)
+
+// Static sentinel errors keep the decoder allocation-free on malformed
+// input too — one rejected line per million accesses must not turn into
+// a per-line fmt.Errorf.
+var (
+	errAccessSyntax   = fmt.Errorf("access record: invalid JSON object")
+	errAccessTrailing = fmt.Errorf("access record: trailing data after object")
+	errAccessAddr     = fmt.Errorf("access record: addr must be a non-negative integer")
+	errAccessGap      = fmt.Errorf("access record: gap must be an integer in [0,255]")
+	errAccessWrite    = fmt.Errorf("access record: write must be a boolean")
+	errAccessField    = fmt.Errorf("access record: unknown field (want addr, write, gap)")
+)
+
+func skipJSONSpace(b []byte, i int) int {
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\n' || b[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+// scanJSONKey reads a quoted field name at b[i] and maps it to a known
+// field. Escapes and unknown names are rejected (stricter than
+// encoding/json's case folding, which is fine: strictness here becomes
+// a 400, not drift).
+func scanJSONKey(b []byte, i int) (accessField, int, error) {
+	if i >= len(b) || b[i] != '"' {
+		return 0, i, errAccessSyntax
+	}
+	i++
+	start := i
+	for i < len(b) && b[i] != '"' {
+		if b[i] == '\\' {
+			return 0, i, errAccessField
+		}
+		i++
+	}
+	if i >= len(b) {
+		return 0, i, errAccessSyntax
+	}
+	key := b[start:i]
+	i++
+	switch {
+	case bytes.Equal(key, []byte("addr")):
+		return fieldAddr, i, nil
+	case bytes.Equal(key, []byte("write")):
+		return fieldWrite, i, nil
+	case bytes.Equal(key, []byte("gap")):
+		return fieldGap, i, nil
+	}
+	return 0, i, errAccessField
+}
+
+// scanJSONUint reads a plain decimal integer (or null) at b[i], bounded
+// by max. Leading zeros, signs, fractions, and exponents are rejected —
+// encoding/json rejects all of those for unsigned fields too, except
+// that it never sees leading zeros (the JSON grammar forbids them).
+func scanJSONUint(b []byte, i int, max uint64, field string) (v uint64, rest int, null bool, err error) {
+	rangeErr := errAccessAddr
+	if field == "gap" {
+		rangeErr = errAccessGap
+	}
+	if i < len(b) && b[i] == 'n' {
+		if bytes.HasPrefix(b[i:], []byte("null")) {
+			return 0, i + 4, true, nil
+		}
+		return 0, i, false, rangeErr
+	}
+	start := i
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		if v > max/10 || v*10 > max-uint64(b[i]-'0') {
+			return 0, i, false, rangeErr
+		}
+		v = v*10 + uint64(b[i]-'0')
+		i++
+	}
+	if i == start {
+		return 0, i, false, rangeErr
+	}
+	if b[start] == '0' && i-start > 1 {
+		return 0, i, false, rangeErr // JSON forbids leading zeros
+	}
+	return v, i, false, nil
+}
+
+func scanJSONBool(b []byte, i int) (v bool, rest int, null bool, err error) {
+	switch {
+	case bytes.HasPrefix(b[i:], []byte("true")):
+		return true, i + 4, false, nil
+	case bytes.HasPrefix(b[i:], []byte("false")):
+		return false, i + 5, false, nil
+	case bytes.HasPrefix(b[i:], []byte("null")):
+		return false, i + 4, true, nil
+	}
+	return false, i, false, errAccessWrite
+}
+
+// decodeAccessJSON is the encoding/json implementation DecodeAccess
+// replaced. Retained as the differential-testing oracle (the scanner
+// must accept only inputs this accepts, with identical values) and the
+// before-side of BenchmarkDecodeAccessJSON.
+func decodeAccessJSON(line []byte) (workload.Access, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var rec AccessRecord
+	if err := dec.Decode(&rec); err != nil {
+		return workload.Access{}, fmt.Errorf("access record: %w", err)
+	}
+	if dec.More() {
+		return workload.Access{}, fmt.Errorf("access record: trailing data after object")
+	}
+	return workload.Access{Addr: rec.Addr, Write: rec.Write, Gap: rec.Gap}, nil
+}

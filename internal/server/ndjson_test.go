@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+// decodeAccessCorpus covers the accept and reject space of the
+// hand-rolled scanner: every accepted line must decode identically under
+// the retained encoding/json oracle (the "fast ⊆ std" property), and the
+// rejects document where the scanner is deliberately stricter.
+var decodeAccessCorpus = []string{
+	`{"addr":4096}`,
+	`{"addr":4096,"write":true,"gap":7}`,
+	`{"addr":18446744073709551615,"write":true,"gap":255}`,
+	`{"addr":0,"write":false,"gap":0}`,
+	`{}`,
+	`null`,
+	` { "addr" : 12 , "gap" : 3 } `,
+	`{"addr":null,"write":null,"gap":null}`,
+	`{"addr":1,"addr":2}`, // duplicate keys: last wins, both decoders
+	`{"write":true}`,
+	"\t{\"gap\":9}\r\n",
+	// Rejected by both decoders:
+	``,
+	`{"addr":-1}`,
+	`{"addr":1.5}`,
+	`{"addr":1e3}`,
+	`{"gap":256}`,
+	`{"addr":18446744073709551616}`, // uint64 overflow
+	`{"addr":1} {"addr":2}`,
+	`{"addr":1,"bogus":true}`,
+	`{"addr":1,}`,
+	`{"addr"}`,
+	`[1,2]`,
+	`"just a string"`,
+	`{"write":1}`,
+	`nullx`,
+	`{"addr":012}`, // leading zero: invalid JSON number
+	`{"addr":"1"}`,
+}
+
+// TestDecodeAccessMatchesJSON pins the scanner to the encoding/json
+// semantics it replaced: on every corpus line the fast decoder accepts,
+// the oracle must accept with an identical value. (The fast decoder may
+// reject lines the oracle accepts — strictness is a 400, not drift —
+// but on this corpus the accept sets coincide.)
+func TestDecodeAccessMatchesJSON(t *testing.T) {
+	for _, line := range decodeAccessCorpus {
+		fast, fastErr := DecodeAccess([]byte(line))
+		std, stdErr := decodeAccessJSON([]byte(line))
+		if (fastErr == nil) != (stdErr == nil) {
+			t.Errorf("%q: fast err = %v, std err = %v", line, fastErr, stdErr)
+			continue
+		}
+		if fastErr == nil && fast != std {
+			t.Errorf("%q: fast = %+v, std = %+v", line, fast, std)
+		}
+	}
+}
+
+// TestDecodeAccessAllocFree: the satellite's point — the NDJSON hot path
+// must not allocate per line, on valid or malformed input (the sentinel
+// errors are static).
+func TestDecodeAccessAllocFree(t *testing.T) {
+	lines := [][]byte{
+		[]byte(`{"addr":123456789,"write":true,"gap":31}`),
+		[]byte(`{"addr":4096}`),
+		[]byte(`{"addr":1,"bogus":true}`),
+		[]byte(`not json at all`),
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, l := range lines {
+			_, _ = DecodeAccess(l)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeAccess allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkDecodeAccess(b *testing.B) {
+	line := []byte(`{"addr":140737488355328,"write":true,"gap":17}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAccess(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeAccessJSON is the before-side: the json.Decoder +
+// bytes.Reader per line this PR removed from the replay path.
+func BenchmarkDecodeAccessJSON(b *testing.B) {
+	line := []byte(`{"addr":140737488355328,"write":true,"gap":17}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeAccessJSON(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleDecodeAccess() {
+	a, _ := DecodeAccess([]byte(`{"addr":4096,"write":true,"gap":3}`))
+	fmt.Println(a.Addr, a.Write, a.Gap)
+	// Output: 4096 true 3
+}

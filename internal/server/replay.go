@@ -6,22 +6,49 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"rmcc/internal/obs"
 	"rmcc/internal/sim"
+	"rmcc/internal/trace"
 	"rmcc/internal/workload"
 )
 
+// Replay wire content types. NDJSON is the default for any body without
+// a binary content type, preserving pre-binary-wire clients.
+const (
+	// ContentTypeBinaryReplay selects the length-prefixed RMTR frame
+	// stream (see internal/trace frame.go and docs/SERVICE.md).
+	ContentTypeBinaryReplay = "application/x-rmcc-trace"
+	// ContentTypeNDJSON is the line-delimited JSON compatibility wire.
+	ContentTypeNDJSON = "application/x-ndjson"
+)
+
+// Wire names used as metric label values.
+const (
+	wireWorkload = "workload"
+	wireNDJSON   = "ndjson"
+	wireBinary   = "binary"
+)
+
 // handleReplay applies an access stream to a session and returns rolled-up
-// stats. Two sources:
+// stats. Three sources:
 //
 //   - ?workload=&accesses=N — run the session's bound generator for N
 //     accesses server-side (the daemon analog of rmccsim -accesses).
 //   - NDJSON request body — one AccessRecord per line, applied in arrival
 //     order with chunk-granular backpressure.
+//   - Binary request body (Content-Type: application/x-rmcc-trace) —
+//     length-prefixed RMTR frames, decoded frame-at-a-time into a reused
+//     batch with zero per-access allocations.
+//
+// Both body wires converge on one apply loop (replayStream over a
+// replaySource), so backpressure, cancellation, progress frames, stage
+// spans, and snapshot dirtiness behave identically regardless of wire.
 //
 // ?progress=N streams NDJSON progress frames every N applied accesses and
 // finishes with a result (or error) frame; without it the response is one
@@ -61,7 +88,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		}
 		if sess.w == nil {
 			writeError(w, http.StatusBadRequest,
-				"session has no bound workload; create it with \"workload\" or stream NDJSON")
+				"session has no bound workload; create it with \"workload\" or stream accesses")
 			return
 		}
 		if name := q.Get("workload"); name != "" && name != sess.w.Name() {
@@ -104,10 +131,22 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var applied uint64
 	var err error
-	if useWorkload {
+	switch {
+	case useWorkload:
+		s.wireMetrics[wireWorkload].requests.Inc()
 		applied, err = s.replayWorkload(ctx, sess, accesses, rw, rsp.ID())
-	} else {
-		applied, err = s.replayNDJSON(ctx, sess, r, rw, rsp.ID())
+	case isBinaryReplay(r.Header.Get("Content-Type")):
+		wm := s.wireMetrics[wireBinary]
+		wm.requests.Inc()
+		body := &countingReader{r: r.Body}
+		applied, err = s.replayBinary(ctx, sess, body, rw, rsp.ID())
+		wm.bytes.Add(body.n)
+	default:
+		wm := s.wireMetrics[wireNDJSON]
+		wm.requests.Inc()
+		body := &countingReader{r: r.Body}
+		applied, err = s.replayNDJSON(ctx, sess, body, rw, rsp.ID())
+		wm.bytes.Add(body.n)
 	}
 	s.mReplayAccesses.Add(applied)
 	s.mReplaySizes.Observe(applied)
@@ -151,6 +190,27 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	s.spans.Record(stageEncode, sess.id, rsp.ID(), encStart.UnixNano(), time.Since(encStart))
 	sess.lg.Info("replay complete", "accesses", applied,
 		"total_accesses", res.Accesses, "wall_seconds", stats.WallSeconds)
+}
+
+// isBinaryReplay matches the binary replay content type, ignoring media
+// parameters (";charset=..." etc.).
+func isBinaryReplay(contentType string) bool {
+	mediaType, _, _ := strings.Cut(contentType, ";")
+	return strings.TrimSpace(mediaType) == ContentTypeBinaryReplay
+}
+
+// countingReader counts bytes drawn from a replay body for the per-wire
+// rmccd_replay_bytes_total counters. The count is added once at request
+// end, keeping the per-read path a plain integer add.
+type countingReader struct {
+	r io.Reader
+	n uint64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += uint64(n)
+	return n, err
 }
 
 // applyWorkloadChunk runs fn-equivalent chunk work on the session's shard
@@ -262,75 +322,164 @@ func (s *Server) emitProgress(rw *replayWriter, sess *session, parent uint64, ap
 	return err
 }
 
-// replayNDJSON decodes the request body line-by-line and applies it in
-// chunks. Decoding happens on the handler goroutine; only the validated
-// batch crosses into the shard, so malformed input can never panic a
-// worker. Because each chunk is applied before more input is read, a slow
-// simulation backpressures the upload through the unread TCP window.
-func (s *Server) replayNDJSON(ctx context.Context, sess *session, r *http.Request, rw *replayWriter, parent uint64) (uint64, error) {
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), s.cfg.MaxLineBytes)
+// replaySource yields decoded access batches from a request body. next
+// reuses buf's backing array (callers pass the previous batch back in),
+// so steady-state decoding allocates nothing per batch. A non-empty
+// batch may accompany io.EOF; errors of type *inputError are client
+// faults (4xx), everything else is a transport failure.
+type replaySource interface {
+	next(buf []workload.Access) ([]workload.Access, error)
+}
+
+// replayStream is the shared apply loop both body wires converge on:
+// pull one batch from the source, apply it on the session's shard,
+// account, emit progress. Because each batch is applied before more
+// input is read, a slow simulation backpressures the upload through the
+// unread TCP window regardless of wire.
+func (s *Server) replayStream(ctx context.Context, sess *session, src replaySource, rw *replayWriter, parent uint64) (uint64, error) {
 	batch := make([]workload.Access, 0, s.cfg.ChunkAccesses)
 	var applied uint64
-	line := 0
-
-	flush := func() error {
-		if len(batch) == 0 {
-			return nil
+	for {
+		if err := ctx.Err(); err != nil {
+			return applied, err
 		}
-		s.mEnqueueDepth.Observe(uint64(s.pool.queueLen(sess.shard)))
-		var total uint64
-		submit := time.Now().UnixNano()
-		jt, err := s.pool.doTimed(ctx, sess.shard, func() {
-			for i, a := range batch {
-				if i%512 == 511 && ctx.Err() != nil {
-					batch = batch[:i]
-					break
-				}
-				sess.lt.Step(a)
+		var srcErr error
+		batch, srcErr = src.next(batch)
+		if srcErr != nil && srcErr != io.EOF {
+			return applied, srcErr
+		}
+		if len(batch) > 0 {
+			stepped, total, err := s.applyBatch(ctx, sess, batch, parent)
+			applied += uint64(stepped)
+			if err != nil {
+				return applied, err
 			}
-			total = sess.lt.Accesses()
-			sess.storeRates(sess.lt.MC().Stats())
-		})
-		if err != nil {
-			return err
+			sess.accessesDone.Store(total)
+			sess.touch(s.cfg.Now())
+			if err := s.emitProgress(rw, sess, parent, applied); err != nil {
+				return applied, err
+			}
+			if stepped < len(batch) {
+				// The shard worker stopped mid-batch: only cancellation
+				// does that, and context errors are sticky.
+				return applied, ctx.Err()
+			}
 		}
-		s.recordChunk(sess, parent, submit, jt, uint64(len(batch)))
-		applied += uint64(len(batch))
-		batch = batch[:0]
-		sess.accessesDone.Store(total)
-		sess.touch(s.cfg.Now())
-		return s.emitProgress(rw, sess, parent, applied)
+		if srcErr == io.EOF {
+			return applied, nil
+		}
 	}
+}
 
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
+// applyBatch steps one decoded batch on the session's shard and records
+// its stage spans. The shard closure reports how many accesses it
+// stepped through the captured counter — cancellation mid-batch leaves
+// stepped < len(batch) — rather than mutating the caller's slice, so
+// the apply loop's accounting never depends on cross-goroutine slice
+// surgery.
+func (s *Server) applyBatch(ctx context.Context, sess *session, batch []workload.Access, parent uint64) (stepped int, total uint64, err error) {
+	s.mEnqueueDepth.Observe(uint64(s.pool.queueLen(sess.shard)))
+	submit := time.Now().UnixNano()
+	jt, err := s.pool.doTimed(ctx, sess.shard, func() {
+		for _, a := range batch {
+			if stepped%512 == 511 && ctx.Err() != nil {
+				break
+			}
+			sess.lt.Step(a)
+			stepped++
+		}
+		total = sess.lt.Accesses()
+		sess.storeRates(sess.lt.MC().Stats())
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	s.recordChunk(sess, parent, submit, jt, uint64(stepped))
+	return stepped, total, nil
+}
+
+// ndjsonSource decodes NDJSON lines into batches of up to cap(buf)
+// accesses. Decoding happens on the handler goroutine; only the
+// validated batch crosses into the shard, so malformed input can never
+// panic a worker.
+type ndjsonSource struct {
+	sc       *bufio.Scanner
+	maxLine  int
+	line     int
+	scanDone bool
+}
+
+func (s *Server) newNDJSONSource(body io.Reader) *ndjsonSource {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), s.cfg.MaxLineBytes)
+	return &ndjsonSource{sc: sc, maxLine: s.cfg.MaxLineBytes}
+}
+
+func (src *ndjsonSource) next(buf []workload.Access) ([]workload.Access, error) {
+	buf = buf[:0]
+	if src.scanDone {
+		return buf, io.EOF
+	}
+	for len(buf) < cap(buf) {
+		if !src.sc.Scan() {
+			src.scanDone = true
+			if err := src.sc.Err(); err != nil {
+				if errors.Is(err, bufio.ErrTooLong) {
+					return buf, &inputError{fmt.Errorf("line %d: exceeds %d-byte line cap", src.line+1, src.maxLine)}
+				}
+				// Body read errors are client disconnects in practice.
+				return buf, err
+			}
+			return buf, io.EOF
+		}
+		src.line++
+		raw := src.sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
 		a, err := DecodeAccess(raw)
 		if err != nil {
-			return applied, &inputError{fmt.Errorf("line %d: %w", line, err)}
+			return buf, &inputError{fmt.Errorf("line %d: %w", src.line, err)}
 		}
-		batch = append(batch, a)
-		if len(batch) == cap(batch) {
-			if err := flush(); err != nil {
-				return applied, err
-			}
-			if err := ctx.Err(); err != nil {
-				return applied, err
-			}
-		}
+		buf = append(buf, a)
 	}
-	if err := sc.Err(); err != nil {
-		if errors.Is(err, bufio.ErrTooLong) {
-			return applied, &inputError{fmt.Errorf("line %d: exceeds %d-byte line cap", line+1, s.cfg.MaxLineBytes)}
-		}
-		// Body read errors are client disconnects in practice.
-		return applied, err
+	return buf, nil
+}
+
+// replayNDJSON applies an NDJSON body through the shared apply loop.
+func (s *Server) replayNDJSON(ctx context.Context, sess *session, body io.Reader, rw *replayWriter, parent uint64) (uint64, error) {
+	return s.replayStream(ctx, sess, s.newNDJSONSource(body), rw, parent)
+}
+
+// binarySource decodes length-prefixed RMTR frames. Each frame is one
+// batch: the sender's framing decides the apply granularity (capped at
+// trace.MaxFrameAccesses), and the decode reuses the caller's batch
+// plus the reader's payload buffer — zero allocations per access or per
+// frame at steady state.
+type binarySource struct {
+	fr    *trace.FrameReader
+	frame int
+}
+
+func (src *binarySource) next(buf []workload.Access) ([]workload.Access, error) {
+	buf, err := src.fr.DecodeInto(buf)
+	switch {
+	case err == nil:
+		src.frame++
+		return buf, nil
+	case err == io.EOF:
+		return buf, io.EOF
+	case errors.Is(err, trace.ErrFrameCorrupt), errors.Is(err, trace.ErrFrameTooLarge):
+		return buf, &inputError{fmt.Errorf("frame %d: %w", src.frame+1, err)}
+	default:
+		return buf, err
 	}
-	return applied, flush()
+}
+
+// replayBinary applies a binary-framed body through the shared apply
+// loop.
+func (s *Server) replayBinary(ctx context.Context, sess *session, body io.Reader, rw *replayWriter, parent uint64) (uint64, error) {
+	return s.replayStream(ctx, sess, &binarySource{fr: trace.NewFrameReader(body)}, rw, parent)
 }
 
 // inputError marks client-side (4xx) replay failures.
@@ -355,7 +504,7 @@ func (rw *replayWriter) startStream() {
 		return
 	}
 	rw.streaming = true
-	rw.w.Header().Set("Content-Type", "application/x-ndjson")
+	rw.w.Header().Set("Content-Type", ContentTypeNDJSON)
 	rw.w.WriteHeader(http.StatusOK)
 }
 

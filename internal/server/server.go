@@ -153,6 +153,9 @@ type Server struct {
 	mReplaysCancel   *obs.Counter
 	mReplayAccesses  *obs.Counter
 	mReplaySizes     *obs.Histogram
+	// Per-wire replay traffic: requests by source (workload shortcut,
+	// NDJSON body, binary frames) and body bytes read per body wire.
+	wireMetrics map[string]wireMetric
 
 	// Per-stage replay latency (µs): queue-wait, engine-step, encode.
 	mStageQueueWait *obs.Histogram
@@ -206,6 +209,13 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// wireMetric bundles the per-wire replay instruments. bytes is nil for
+// the workload shortcut (no request body to meter).
+type wireMetric struct {
+	requests *obs.Counter
+	bytes    *obs.Counter
+}
+
 // Span stage names (the "stage" label on rmccd_replay_stage_duration_us).
 const (
 	stageQueueWait = "queue-wait"
@@ -230,6 +240,22 @@ func (s *Server) initMetrics() {
 	s.mReplaySizes = s.reg.Histogram("rmccd_replay_size_accesses",
 		"accesses applied per replay request",
 		[]uint64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000})
+	s.wireMetrics = map[string]wireMetric{
+		wireWorkload: {requests: s.reg.Counter("rmccd_replay_requests_total",
+			"replay requests, by wire", obs.L("wire", wireWorkload))},
+		wireNDJSON: {
+			requests: s.reg.Counter("rmccd_replay_requests_total", "",
+				obs.L("wire", wireNDJSON)),
+			bytes: s.reg.Counter("rmccd_replay_bytes_total",
+				"replay body bytes read, by wire", obs.L("wire", wireNDJSON)),
+		},
+		wireBinary: {
+			requests: s.reg.Counter("rmccd_replay_requests_total", "",
+				obs.L("wire", wireBinary)),
+			bytes: s.reg.Counter("rmccd_replay_bytes_total", "",
+				obs.L("wire", wireBinary)),
+		},
+	}
 	s.reg.GaugeFunc("rmccd_sessions_active", "live sessions",
 		func() float64 {
 			s.mu.Lock()

@@ -1,0 +1,221 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rmcc/internal/server"
+	"rmcc/internal/trace"
+	"rmcc/internal/workload"
+)
+
+// captureAccesses records the first n accesses of a built-in workload
+// stream.
+func captureAccesses(t *testing.T, name string, seed uint64, n int) ([]workload.Access, uint64) {
+	t.Helper()
+	w, ok := workload.ByName(workload.SizeTest, seed, name)
+	if !ok {
+		t.Fatalf("workload %s unavailable", name)
+	}
+	accs := make([]workload.Access, 0, n)
+	w.Run(seed, func(a workload.Access) bool {
+		accs = append(accs, a)
+		return len(accs) < n
+	})
+	return accs, w.FootprintBytes()
+}
+
+// TestBinaryMatchesNDJSONReplay is the cross-wire acceptance gate: the
+// same access stream uploaded over the NDJSON shim and over the binary
+// frame wire must produce bit-identical ReplayStats (session identity and
+// wall time aside). The two wires share one apply loop, so any divergence
+// would mean the frame codec corrupted the stream.
+func TestBinaryMatchesNDJSONReplay(t *testing.T) {
+	const n = 20_000
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	accs, footprint := captureAccesses(t, "canneal", 1, n)
+
+	mk := func() string {
+		info, err := c.CreateSession(ctx, server.SessionConfig{
+			Mode: "rmcc", Scheme: "morphable", Seed: 1,
+			FootprintBytes: footprint, Label: "wire",
+		})
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		return info.ID
+	}
+	ndjsonID, binaryID := mk(), mk()
+
+	viaNDJSON, err := c.ReplayAccesses(ctx, ndjsonID, accs)
+	if err != nil {
+		t.Fatalf("ndjson replay: %v", err)
+	}
+	viaBinary, err := c.ReplayAccessesBinary(ctx, binaryID, accs)
+	if err != nil {
+		t.Fatalf("binary replay: %v", err)
+	}
+
+	// Neutralize per-request identity, then require exact equality —
+	// engine counters, LLC misses, rates, everything.
+	viaNDJSON.SessionID, viaBinary.SessionID = "", ""
+	viaNDJSON.WallSeconds, viaBinary.WallSeconds = 0, 0
+	if viaNDJSON != viaBinary {
+		t.Fatalf("wires diverge:\nndjson: %+v\nbinary: %+v", viaNDJSON, viaBinary)
+	}
+	if viaBinary.Accesses != n {
+		t.Fatalf("accesses = %d, want %d", viaBinary.Accesses, n)
+	}
+}
+
+// TestReplayTrace drives the full file path: record an RMTR trace,
+// stream it with ReplayTrace (client-side reframing), and require the
+// same stats as the equivalent NDJSON upload.
+func TestReplayTrace(t *testing.T) {
+	const n = 5_000
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	accs, footprint := captureAccesses(t, "mcf", 3, n)
+
+	var rmtr bytes.Buffer
+	tw, err := trace.NewWriter(&rmtr, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range accs {
+		if err := tw.Append(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func() string {
+		info, err := c.CreateSession(ctx, server.SessionConfig{
+			Mode: "rmcc", Scheme: "morphable", Seed: 3,
+			FootprintBytes: footprint, Label: "trace",
+		})
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		return info.ID
+	}
+	viaTrace, err := c.ReplayTrace(ctx, mk(), bytes.NewReader(rmtr.Bytes()))
+	if err != nil {
+		t.Fatalf("trace replay: %v", err)
+	}
+	viaNDJSON, err := c.ReplayAccesses(ctx, mk(), accs)
+	if err != nil {
+		t.Fatalf("ndjson replay: %v", err)
+	}
+	viaTrace.SessionID, viaNDJSON.SessionID = "", ""
+	viaTrace.WallSeconds, viaNDJSON.WallSeconds = 0, 0
+	if viaTrace != viaNDJSON {
+		t.Fatalf("trace wire diverges:\ntrace:  %+v\nndjson: %+v", viaTrace, viaNDJSON)
+	}
+}
+
+// TestBinaryReplayErrors: malformed frame streams must surface as 400s
+// (typed input errors), and the daemon must stay healthy afterwards.
+func TestBinaryReplayErrors(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	info, err := c.CreateSession(ctx, server.SessionConfig{FootprintBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// A hostile length prefix: 256 MiB declared payload, rejected from
+	// the 8 header bytes alone.
+	huge := make([]byte, 8)
+	binary.LittleEndian.PutUint32(huge[0:4], 256<<20)
+	binary.LittleEndian.PutUint32(huge[4:8], 1)
+	if _, err := c.ReplayBinary(ctx, info.ID, bytes.NewReader(huge)); !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("oversized frame: %v, want 400", err)
+	}
+
+	// A truncated frame: header promises more payload than the body holds.
+	trunc := make([]byte, 8, 12)
+	binary.LittleEndian.PutUint32(trunc[0:4], 64)
+	binary.LittleEndian.PutUint32(trunc[4:8], 4)
+	trunc = append(trunc, 0x00, 0x02, 0x01, 0x02)
+	if _, err := c.ReplayBinary(ctx, info.ID, bytes.NewReader(trunc)); !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("truncated frame: %v, want 400", err)
+	}
+
+	// An NDJSON body mislabeled as binary fails frame decoding, not the
+	// session.
+	if _, err := c.ReplayBinary(ctx, info.ID, strings.NewReader(`{"addr":1}`+"\n")); !isStatus(err, http.StatusBadRequest) {
+		t.Fatalf("mislabeled body: %v, want 400", err)
+	}
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("daemon unhealthy after bad frames: %v", err)
+	}
+}
+
+// TestWireMetrics checks the per-wire accounting: request counters for
+// all three sources and body-byte counters for the two body wires.
+func TestWireMetrics(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	accs, footprint := captureAccesses(t, "canneal", 1, 1_000)
+
+	info, err := c.CreateSession(ctx, server.SessionConfig{
+		Mode: "rmcc", Seed: 1, FootprintBytes: footprint, Label: "wire",
+	})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := c.ReplayAccessesBinary(ctx, info.ID, accs); err != nil {
+		t.Fatalf("binary replay: %v", err)
+	}
+	if _, err := c.ReplayAccesses(ctx, info.ID, accs); err != nil {
+		t.Fatalf("ndjson replay: %v", err)
+	}
+
+	text, err := c.RawMetrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		`rmccd_replay_requests_total{wire="binary"} 1`,
+		`rmccd_replay_requests_total{wire="ndjson"} 1`,
+		`rmccd_replay_bytes_total{wire="binary"}`,
+		`rmccd_replay_bytes_total{wire="ndjson"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The whole point of the binary wire: strictly fewer bytes than the
+	// JSON rendering of the same stream. Both counters must be non-zero
+	// and binary < ndjson.
+	bin := metricValue(t, text, `rmccd_replay_bytes_total{wire="binary"}`)
+	nd := metricValue(t, text, `rmccd_replay_bytes_total{wire="ndjson"}`)
+	if bin <= 0 || nd <= 0 || bin >= nd {
+		t.Errorf("replay bytes: binary=%v ndjson=%v, want 0 < binary < ndjson", bin, nd)
+	}
+}
+
+func metricValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %q not found", series)
+	return 0
+}

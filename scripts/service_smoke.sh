@@ -12,10 +12,14 @@
 #   4. render the live dashboard once with rmcc-top -once,
 #   5. curl /statusz and /debug/pprof/heap on the debug listener,
 #   6. replay once more over the NDJSON streaming-upload path,
-#   7. SIGTERM the daemon and require a clean graceful drain: exit 0
+#   7. record an RMTR trace with rmcc-trace, replay it over the binary
+#      frame wire with -check (bit-identical to the direct run), round-trip
+#      the trace through -decode/-encode (byte-identical file), and assert
+#      the per-wire replay metrics appeared,
+#   8. SIGTERM the daemon and require a clean graceful drain: exit 0
 #      within the drain deadline, plus structured log lines carrying a
 #      session field,
-#   8. assert the drain cut a final checkpoint of every kept session, then
+#   9. assert the drain cut a final checkpoint of every kept session, then
 #      restart the daemon over the same snapshot dir and require all of
 #      them back at their full access counts.
 #
@@ -29,10 +33,11 @@ accesses="${2:-20000}"
 workdir="$(mktemp -d)"
 trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
-echo "service-smoke: building rmccd, rmcc-loadgen and rmcc-top" >&2
+echo "service-smoke: building rmccd, rmcc-loadgen, rmcc-top and rmcc-trace" >&2
 go build -o "$workdir/rmccd" ./cmd/rmccd
 go build -o "$workdir/rmcc-loadgen" ./cmd/rmcc-loadgen
 go build -o "$workdir/rmcc-top" ./cmd/rmcc-top
+go build -o "$workdir/rmcc-trace" ./cmd/rmcc-trace
 
 # Start the daemon directly (no subshell) so `wait` can retrieve its real
 # exit status later.
@@ -73,7 +78,28 @@ curl -fsS "http://$debug_addr/debug/tracez?n=10" | grep -q '"slowest"' \
 
 echo "service-smoke: NDJSON streaming-upload path" >&2
 "$workdir/rmcc-loadgen" -addr "$addr" -sessions 2 \
-    -workload canneal -size test -accesses "$accesses" -ndjson
+    -workload canneal -size test -accesses "$accesses" -wire ndjson
+
+echo "service-smoke: binary replay wire (rmcc-trace record -> loadgen -wire binary -check)" >&2
+"$workdir/rmcc-trace" -record -workload canneal -size test \
+    -n "$accesses" -seed 1 -o "$workdir/canneal.rmtr"
+"$workdir/rmcc-loadgen" -addr "$addr" -sessions 2 \
+    -trace-file "$workdir/canneal.rmtr" -wire binary -check
+
+echo "service-smoke: NDJSON <-> RMTR round trip (decode -> encode -> byte-identical)" >&2
+"$workdir/rmcc-trace" -decode "$workdir/canneal.rmtr" -o "$workdir/canneal.ndjson"
+trace_name=$("$workdir/rmcc-trace" -info "$workdir/canneal.rmtr" | awk '/^workload/{print $2; exit}')
+"$workdir/rmcc-trace" -encode "$workdir/canneal.ndjson" -label "$trace_name" \
+    -o "$workdir/canneal2.rmtr"
+cmp "$workdir/canneal.rmtr" "$workdir/canneal2.rmtr" \
+    || { echo "service-smoke: NDJSON<->RMTR round trip not byte-identical" >&2; exit 1; }
+
+echo "service-smoke: per-wire replay metrics" >&2
+curl -fsS "http://$addr/metrics" > "$workdir/metrics_wire.txt"
+grep -q 'rmccd_replay_bytes_total{wire="binary"}' "$workdir/metrics_wire.txt" \
+    || { echo "service-smoke: /metrics missing binary-wire byte counter" >&2; exit 1; }
+grep -q 'rmccd_replay_requests_total{wire="binary"}' "$workdir/metrics_wire.txt" \
+    || { echo "service-smoke: /metrics missing binary-wire request counter" >&2; exit 1; }
 
 grep -q 'rmccd_replays_total{status="ok"}' "$workdir/metrics.txt" \
     || { echo "service-smoke: /metrics missing replay counters" >&2; exit 1; }
