@@ -26,7 +26,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"reflect"
 	"sort"
@@ -232,6 +234,27 @@ func main() {
 		*sessions = len(infos)
 	}
 
+	// retryReplay survives a router drain happening mid-run: a 409 (the
+	// session is briefly locked by a migration's checkpoint lease) or 503
+	// (ring membership settling) rejects the request before any access
+	// applies, so resending is safe. Anything else — including an error
+	// frame mid-stream, after accesses may have applied — is never
+	// retried; -check would silently pass over duplicated accesses.
+	retryReplay := func(f func() (server.ReplayStats, error)) (server.ReplayStats, error) {
+		for attempt := 0; ; attempt++ {
+			stats, err := f()
+			if err == nil || attempt >= 40 || !transientReplayError(err) {
+				return stats, err
+			}
+			lg.Debug("replay rejected, retrying", "attempt", attempt, "error", err)
+			select {
+			case <-ctx.Done():
+				return stats, err
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+	}
+
 	results := make([]result, *sessions)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -260,7 +283,9 @@ func main() {
 				t0 := time.Now()
 				if info.Accesses < target {
 					rt0 := time.Now()
-					r.stats, r.err = c.ReplayWorkload(ctx, info.ID, target-info.Accesses, progressEvery, onp)
+					r.stats, r.err = retryReplay(func() (server.ReplayStats, error) {
+						return c.ReplayWorkload(ctx, info.ID, target-info.Accesses, progressEvery, onp)
+					})
 					if r.err == nil {
 						r.durs = append(r.durs, time.Since(rt0).Seconds())
 					}
@@ -297,16 +322,18 @@ func main() {
 				// exactly; for generator streams the -check contract only
 				// covers -replays 1). The workload wire continues one
 				// server-side stream across requests.
-				switch {
-				case wire == "binary" && traceBytes != nil:
-					r.stats, r.err = c.ReplayTrace(ctx, info.ID, bytes.NewReader(traceBytes))
-				case wire == "binary":
-					r.stats, r.err = c.ReplayAccessesBinary(ctx, info.ID, stream)
-				case wire == "ndjson":
-					r.stats, r.err = c.ReplayAccesses(ctx, info.ID, stream)
-				default:
-					r.stats, r.err = c.ReplayWorkload(ctx, info.ID, *accesses, progressEvery, onp)
-				}
+				r.stats, r.err = retryReplay(func() (server.ReplayStats, error) {
+					switch {
+					case wire == "binary" && traceBytes != nil:
+						return c.ReplayTrace(ctx, info.ID, bytes.NewReader(traceBytes))
+					case wire == "binary":
+						return c.ReplayAccessesBinary(ctx, info.ID, stream)
+					case wire == "ndjson":
+						return c.ReplayAccesses(ctx, info.ID, stream)
+					default:
+						return c.ReplayWorkload(ctx, info.ID, *accesses, progressEvery, onp)
+					}
+				})
 				if r.err == nil {
 					r.durs = append(r.durs, time.Since(rt0).Seconds())
 				}
@@ -512,6 +539,18 @@ func checkEquivalence(got server.ReplayStats, w workload.Workload, modeStr, sche
 		return fmt.Errorf("check: max counter differs: service %d, direct %d", got.MaxCounter, res.MaxCounter)
 	}
 	return nil
+}
+
+// transientReplayError reports whether a replay failed with a
+// pre-apply rejection (HTTP 409 or 503). A mid-stream error frame
+// arrives on a 200 response and carries that status instead, so it can
+// never look transient here.
+func transientReplayError(err error) bool {
+	var ae *client.APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	return ae.Status == http.StatusConflict || ae.Status == http.StatusServiceUnavailable
 }
 
 func fatal(err error) {

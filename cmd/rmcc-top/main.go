@@ -91,6 +91,11 @@ func snapshot(c *client.Client, timeout time.Duration) (string, error) {
 }
 
 func render(pm *obs.PromText, sessions []server.SessionInfo, now time.Time) string {
+	// Pointed at rmcc-router instead of a single daemon? The metrics page
+	// says so; render the cluster dashboard.
+	if _, ok := pm.Value("rmcc_router_uptime_seconds"); ok {
+		return renderCluster(pm, sessions, now)
+	}
 	var sb strings.Builder
 
 	uptime, _ := pm.Value("rmccd_uptime_seconds")
@@ -154,6 +159,91 @@ func render(pm *obs.PromText, sessions []server.SessionInfo, now time.Time) stri
 		sb.WriteString("(no live sessions)\n")
 	}
 	return sb.String()
+}
+
+// renderCluster is the router dashboard: router header, one row per
+// node from the rmcc_router_node_* gauges, then the merged session
+// table with each session's NODE.
+func renderCluster(pm *obs.PromText, sessions []server.SessionInfo, now time.Time) string {
+	var sb strings.Builder
+
+	uptime, _ := pm.Value("rmcc_router_uptime_seconds")
+	inRing, _ := pm.Value("rmcc_router_nodes_in_ring")
+	routed, _ := pm.Value("rmcc_router_sessions_routed")
+	migOK, _ := pm.Value("rmcc_router_migrations_total", obs.L("status", "ok"))
+	migErr, _ := pm.Value("rmcc_router_migrations_total", obs.L("status", "error"))
+	proxyErrs, _ := pm.Value("rmcc_router_proxy_errors_total")
+
+	fmt.Fprintf(&sb, "rmcc-top — %s  router up %s  nodes %.0f in ring  sessions %.0f routed  migrations %.0f ok / %.0f err  proxy-errs %.0f\n\n",
+		now.UTC().Format("15:04:05"),
+		(time.Duration(uptime) * time.Second).String(),
+		inRing, routed, migOK, migErr, proxyErrs)
+
+	fmt.Fprintf(&sb, "%-22s %-9s %7s %5s %9s %12s %10s %10s\n",
+		"NODE", "STATE", "HEALTHY", "RING", "SESSIONS", "REPLAY-P99µs", "CHECKS-OK", "CHECKS-ERR")
+	for _, id := range clusterNodes(pm) {
+		healthy, _ := pm.Value("rmcc_router_node_healthy", obs.L("node", id))
+		ring, _ := pm.Value("rmcc_router_node_in_ring", obs.L("node", id))
+		draining, _ := pm.Value("rmcc_router_node_draining", obs.L("node", id))
+		nsess, _ := pm.Value("rmcc_router_node_sessions", obs.L("node", id))
+		p99, _ := pm.Value("rmcc_router_node_replay_p99_us", obs.L("node", id))
+		chkOK, _ := pm.Value("rmcc_router_health_checks_total", obs.L("node", id), obs.L("result", "ok"))
+		chkFail, _ := pm.Value("rmcc_router_health_checks_total", obs.L("node", id), obs.L("result", "fail"))
+		state := "active"
+		if draining > 0 {
+			state = "draining"
+		}
+		fmt.Fprintf(&sb, "%-22s %-9s %7s %5s %9.0f %12.0f %10.0f %10.0f\n",
+			id, state, yn(healthy > 0), yn(ring > 0), nsess, p99, chkOK, chkFail)
+	}
+	sb.WriteByte('\n')
+
+	fmt.Fprintf(&sb, "%-20s %-22s %-12s %12s %9s %9s %9s %9s %-9s\n",
+		"SESSION", "NODE", "WORKLOAD", "ACCESSES", "CTR-MISS%", "MEMO-HIT%", "P50µs", "P99µs", "STATE")
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].Accesses > sessions[j].Accesses })
+	for _, s := range sessions {
+		state := "idle"
+		if s.Replaying {
+			state = "replaying"
+		}
+		workload := s.Workload
+		if workload == "" {
+			workload = s.Name
+		}
+		fmt.Fprintf(&sb, "%-20s %-22s %-12s %12s %9.1f %9.1f %9.0f %9.0f %-9s\n",
+			s.ID, s.Node, workload, human(float64(s.Accesses)),
+			100*s.CtrMissRate, 100*s.MemoHitRateOnMisses,
+			s.ReplayP50us, s.ReplayP99us, state)
+	}
+	if len(sessions) == 0 {
+		sb.WriteString("(no live sessions)\n")
+	}
+	return sb.String()
+}
+
+// clusterNodes collects the node IDs present on the router metrics page,
+// sorted.
+func clusterNodes(pm *obs.PromText) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range pm.Samples {
+		if s.Name != "rmcc_router_node_healthy" {
+			continue
+		}
+		if id := s.Label("node"); id != "" && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func yn(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
 }
 
 // shardDepths collects rmccd_shard_queue_depth gauges indexed by their

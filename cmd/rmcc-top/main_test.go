@@ -54,6 +54,69 @@ func TestRenderFrame(t *testing.T) {
 	}
 }
 
+const sampleRouterMetrics = `# HELP rmcc_router_uptime_seconds seconds since the router started
+rmcc_router_uptime_seconds 65
+rmcc_router_nodes_in_ring 2
+rmcc_router_sessions_routed 3
+rmcc_router_migrations_total{status="ok"} 4
+rmcc_router_migrations_total{status="error"} 0
+rmcc_router_proxy_errors_total 1
+rmcc_router_node_healthy{node="127.0.0.1:8077"} 1
+rmcc_router_node_healthy{node="127.0.0.1:8078"} 1
+rmcc_router_node_in_ring{node="127.0.0.1:8077"} 1
+rmcc_router_node_in_ring{node="127.0.0.1:8078"} 0
+rmcc_router_node_draining{node="127.0.0.1:8077"} 0
+rmcc_router_node_draining{node="127.0.0.1:8078"} 1
+rmcc_router_node_sessions{node="127.0.0.1:8077"} 3
+rmcc_router_node_sessions{node="127.0.0.1:8078"} 0
+rmcc_router_node_replay_p99_us{node="127.0.0.1:8077"} 850
+rmcc_router_node_replay_p99_us{node="127.0.0.1:8078"} 0
+rmcc_router_health_checks_total{node="127.0.0.1:8077",result="ok"} 30
+rmcc_router_health_checks_total{node="127.0.0.1:8077",result="fail"} 0
+rmcc_router_health_checks_total{node="127.0.0.1:8078",result="ok"} 28
+rmcc_router_health_checks_total{node="127.0.0.1:8078",result="fail"} 2
+`
+
+// TestRenderClusterFrame: pointed at rmcc-router, the dashboard switches
+// to the cluster view — node table from the rmcc_router_node_* gauges
+// plus the merged session table with the routed NODE column.
+func TestRenderClusterFrame(t *testing.T) {
+	pm, err := obs.ParsePromText(strings.NewReader(sampleRouterMetrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := []server.SessionInfo{
+		{ID: "s-00aa", Workload: "canneal", Node: "127.0.0.1:8077",
+			Accesses: 9000, Replaying: true},
+		{ID: "s-00bb", Workload: "dedup", Node: "127.0.0.1:8077", Accesses: 100},
+	}
+	frame := render(pm, sessions, time.Unix(0, 0).UTC())
+	for _, want := range []string{
+		"router up 1m5s", "nodes 2 in ring", "sessions 3 routed",
+		"migrations 4 ok / 0 err", "proxy-errs 1",
+		"NODE", "CHECKS-ERR",
+		"127.0.0.1:8077", "active", "yes",
+		"127.0.0.1:8078", "draining", "no",
+		"s-00aa", "canneal", "replaying",
+		"s-00bb", "dedup", "idle",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("cluster frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "shard queues") {
+		t.Errorf("cluster frame fell through to the single-daemon view:\n%s", frame)
+	}
+	// Draining node row: healthy=yes but ring=no.
+	for _, line := range strings.Split(frame, "\n") {
+		if strings.HasPrefix(line, "127.0.0.1:8078") {
+			if !strings.Contains(line, "draining") || !strings.Contains(line, "no") {
+				t.Errorf("draining node row wrong: %q", line)
+			}
+		}
+	}
+}
+
 func TestRenderNoSessions(t *testing.T) {
 	pm, err := obs.ParsePromText(strings.NewReader("rmccd_uptime_seconds 1\n"))
 	if err != nil {

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGateAllocFree guards the proxy hot path: once a session has an
+// entry, resolving it to a node — whether through the routed pointer or
+// through ring fallback — must not allocate. The proxied body is the
+// only per-request allocation the router is allowed.
+func TestGateAllocFree(t *testing.T) {
+	rt, err := New(Config{
+		// A black-hole address: the health loop is parked for an hour and
+		// nothing in this test sends traffic.
+		Nodes:       []string{"127.0.0.1:1", "127.0.0.1:2"},
+		HealthEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	routed := "s-00000000000000aa"
+	e := &entry{}
+	e.node.Store(rt.nodes["127.0.0.1:1"])
+	rt.entries.Store(routed, e)
+
+	// Ring fallback: entry exists but has no routed node yet.
+	fallback := "s-00000000000000bb"
+	rt.entries.Store(fallback, &entry{})
+
+	for _, tc := range []struct {
+		name string
+		id   string
+	}{
+		{"routed", routed},
+		{"ring-fallback", fallback},
+	} {
+		allocs := testing.AllocsPerRun(1000, func() {
+			n, ent := rt.gate(tc.id)
+			if n == nil {
+				t.Fatal("gate found no node")
+			}
+			ent.mu.RUnlock()
+		})
+		if allocs != 0 {
+			t.Errorf("gate(%s) allocates %.1f per request, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Deterministic daemon-form IDs, spread like the router's own
+		// random ones would be by the hash.
+		keys[i] = fmt.Sprintf("s-%016x", uint64(i)*0x9e3779b97f4a7c15+7)
+	}
+	return keys
+}
+
+func owners(r *Ring, keys []string) map[string]string {
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		out[k] = r.Owner(k)
+	}
+	return out
+}
+
+// TestRingRemapOnlyRemovedNode is the consistency property the whole
+// design rests on: removing one of N nodes remaps exactly the removed
+// node's keys (every other key keeps its owner), and the moved fraction
+// stays near 1/N.
+func TestRingRemapOnlyRemovedNode(t *testing.T) {
+	const nNodes, nKeys = 5, 20_000
+	r := NewRing(0)
+	var nodes []string
+	for i := 0; i < nNodes; i++ {
+		nodes = append(nodes, fmt.Sprintf("10.0.0.%d:8077", i+1))
+		r.Add(nodes[i])
+	}
+	keys := ringKeys(nKeys)
+	before := owners(r, keys)
+
+	for _, victim := range nodes {
+		r2 := r.Clone()
+		r2.Remove(victim)
+		moved := 0
+		for _, k := range keys {
+			after := r2.Owner(k)
+			if before[k] != victim {
+				if after != before[k] {
+					t.Fatalf("remove(%s): key %s moved %s -> %s but its owner did not leave",
+						victim, k, before[k], after)
+				}
+				continue
+			}
+			if after == victim {
+				t.Fatalf("remove(%s): key %s still owned by removed node", victim, k)
+			}
+			moved++
+		}
+		frac := float64(moved) / float64(nKeys)
+		max := 1.0/float64(nNodes) + 0.05
+		if frac > max {
+			t.Fatalf("remove(%s): %.3f of keys moved, want <= %.3f", victim, frac, max)
+		}
+		if moved == 0 {
+			t.Fatalf("remove(%s): no keys moved — node owned nothing", victim)
+		}
+		// Adding the node back restores the original ownership exactly.
+		r2.Add(victim)
+		for _, k := range keys {
+			if got := r2.Owner(k); got != before[k] {
+				t.Fatalf("re-add(%s): key %s owned by %s, want %s", victim, k, got, before[k])
+			}
+		}
+	}
+}
+
+// TestRingBalance: with the default vnode count, no node owns a wildly
+// disproportionate share.
+func TestRingBalance(t *testing.T) {
+	const nNodes, nKeys = 4, 40_000
+	r := NewRing(0)
+	for i := 0; i < nNodes; i++ {
+		r.Add(fmt.Sprintf("10.0.0.%d:8077", i+1))
+	}
+	counts := map[string]int{}
+	for _, k := range ringKeys(nKeys) {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != nNodes {
+		t.Fatalf("only %d of %d nodes own keys: %v", len(counts), nNodes, counts)
+	}
+	ideal := nKeys / nNodes
+	for node, c := range counts {
+		if c < ideal/2 || c > ideal*2 {
+			t.Fatalf("node %s owns %d keys, want within [%d, %d]: %v",
+				node, c, ideal/2, ideal*2, counts)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owner("s-01"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	r.Add("a:1")
+	for _, k := range ringKeys(100) {
+		if got := r.Owner(k); got != "a:1" {
+			t.Fatalf("single-node ring owner = %q", got)
+		}
+	}
+	r.Add("a:1") // duplicate add is a no-op
+	if len(r.points) != r.vnodes {
+		t.Fatalf("duplicate add grew the ring to %d points", len(r.points))
+	}
+	r.Remove("b:2") // absent remove is a no-op
+	if r.Len() != 1 || !r.Has("a:1") {
+		t.Fatalf("ring membership corrupted: %v", r.Nodes())
+	}
+	r.Remove("a:1")
+	if r.Len() != 0 || r.Owner("s-01") != "" {
+		t.Fatal("ring not empty after removing the only node")
+	}
+}
+
+// TestOwnerAllocFree guards the routing hot path: one Owner lookup must
+// not allocate.
+func TestOwnerAllocFree(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 3; i++ {
+		r.Add(fmt.Sprintf("10.0.0.%d:8077", i+1))
+	}
+	keys := ringKeys(64)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if r.Owner(keys[i%len(keys)]) == "" {
+			t.Fatal("no owner")
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Ring.Owner allocates %.1f per lookup, want 0", allocs)
+	}
+}

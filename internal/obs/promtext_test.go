@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -131,6 +132,94 @@ d_bucket{stage="b",le="+Inf"} 0
 	if _, ok := p.HistQuantile("nope", 0.5); ok {
 		t.Error("absent histogram reported a quantile")
 	}
+}
+
+// TestParseCapturedMetricsPayloads parses real /metrics pages captured
+// from a live 2-node cluster (16 loadgen sessions, one node drained:
+// see testdata/) — rmcc-router and rmccd exports, not synthetic text.
+// This is the parser's contract with its real producers: multi-label
+// series resolve by exact label set, and histogram quantiles come out
+// of the captured cumulative buckets.
+func TestParseCapturedMetricsPayloads(t *testing.T) {
+	// The fixture's topology: node A held all 16 sessions after node B
+	// (drained) migrated its 8 over.
+	const nodeA, nodeB = "127.0.0.1:40745", "127.0.0.1:36499"
+
+	t.Run("router", func(t *testing.T) {
+		f, err := os.Open("testdata/router_metrics.prom")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		p, err := ParsePromText(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Multi-label counter: same name, distinguished by {node,result}.
+		for _, node := range []string{nodeA, nodeB} {
+			if v, ok := p.Value("rmcc_router_health_checks_total",
+				L("node", node), L("result", "ok")); !ok || v != 16 {
+				t.Errorf("health_checks{%s,ok} = %v,%v, want 16", node, v, ok)
+			}
+			if v, ok := p.Value("rmcc_router_health_checks_total",
+				L("node", node), L("result", "fail")); !ok || v != 0 {
+				t.Errorf("health_checks{%s,fail} = %v,%v, want 0", node, v, ok)
+			}
+		}
+		// The drain is visible: B migrated its 8 sessions to A and left
+		// the ring.
+		if v, ok := p.Value("rmcc_router_migrations_total", L("status", "ok")); !ok || v != 8 {
+			t.Errorf("migrations{ok} = %v,%v, want 8", v, ok)
+		}
+		if v, ok := p.Value("rmcc_router_node_sessions", L("node", nodeA)); !ok || v != 16 {
+			t.Errorf("node_sessions{A} = %v,%v, want 16", v, ok)
+		}
+		if v, ok := p.Value("rmcc_router_node_in_ring", L("node", nodeB)); !ok || v != 0 {
+			t.Errorf("node_in_ring{B} = %v,%v, want 0", v, ok)
+		}
+		if v, ok := p.Value("rmcc_router_nodes_in_ring"); !ok || v != 1 {
+			t.Errorf("nodes_in_ring = %v,%v, want 1", v, ok)
+		}
+		// Histogram quantile over a labeled series: all 8 migrations
+		// landed in finite buckets, so the p99 must be a positive finite
+		// microsecond figure.
+		if v, ok := p.HistQuantile("rmcc_router_migration_duration_us", 0.99); !ok || v <= 0 || math.IsInf(v, 0) {
+			t.Errorf("migration p99 = %v,%v, want positive finite", v, ok)
+		}
+	})
+
+	t.Run("node", func(t *testing.T) {
+		f, err := os.Open("testdata/node_metrics.prom")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		p, err := ParsePromText(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := p.Value("rmccd_sessions_active"); !ok || v != 16 {
+			t.Errorf("sessions_active = %v,%v, want 16", v, ok)
+		}
+		if v, ok := p.Value("rmccd_requests_total",
+			L("class", "2xx"), L("endpoint", "replay")); !ok || v != 16 {
+			t.Errorf("requests{2xx,replay} = %v,%v, want 16", v, ok)
+		}
+		// Quantile extraction from the captured replay-latency buckets:
+		// 7 of 16 requests ≤ 131072µs, all 16 ≤ 262144µs, so the p99
+		// interpolates strictly inside (131072, 262144].
+		v, ok := p.HistQuantile("rmccd_request_duration_us", 0.99, L("endpoint", "replay"))
+		if !ok || v <= 131072 || v > 262144 {
+			t.Errorf("replay p99 = %v,%v, want in (131072, 262144]", v, ok)
+		}
+		// The histogram is label-scoped: the same name restricted to a
+		// quiet endpoint gives a different (smaller) figure, proving the
+		// label restriction actually filters.
+		hv, hok := p.HistQuantile("rmccd_request_duration_us", 0.99, L("endpoint", "healthz"))
+		if hok && hv >= v {
+			t.Errorf("healthz p99 %v >= replay p99 %v — label restriction leaking", hv, v)
+		}
+	})
 }
 
 // TestHistogramQuantile checks the server-side bucketed estimate.

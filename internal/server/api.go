@@ -211,6 +211,11 @@ type SessionInfo struct {
 	Replaying      bool   `json:"replaying"`
 	ConfigHash     string `json:"config_hash"`
 
+	// Node is the cluster node serving the session. Empty in a single
+	// daemon's own listing; rmcc-router fills it when merging per-node
+	// listings into the cluster-wide view.
+	Node string `json:"node,omitempty"`
+
 	// Live engine rates as of the last applied chunk (0 until then).
 	CtrMissRate         float64 `json:"ctr_miss_rate"`
 	MemoHitRateOnMisses float64 `json:"memo_hit_rate_on_misses"`

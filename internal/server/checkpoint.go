@@ -315,6 +315,12 @@ func (s *Server) restoreSession(data []byte) (*session, error) {
 		return nil, fmt.Errorf("%w: session config hash %016x, want %016x",
 			snapshot.ErrSnapshotConfigMismatch, got, want)
 	}
+	// The restored ID becomes a checkpoint file name on this daemon; only
+	// the strict daemon shape may come back from a blob.
+	if !validSessionID(meta.ID) {
+		return nil, fmt.Errorf("%w: invalid session id %q",
+			snapshot.ErrSnapshotCorrupt, meta.ID)
+	}
 	created, err := time.Parse(time.RFC3339, meta.Created)
 	if err != nil {
 		created = s.cfg.Now()
@@ -520,14 +526,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Restored IDs can come from another daemon; keep the ID counter ahead.
-	if n, perr := parseSessionID(sess.id); perr == nil {
-		for {
-			cur := s.nextID.Load()
-			if n <= cur || s.nextID.CompareAndSwap(cur, n) {
-				break
-			}
-		}
-	}
+	s.advanceNextID(sess.id)
 	s.mSessionsCreated.Inc()
 	sess.lg.Info("session restored", "accesses", sess.accessesDone.Load())
 	if s.cfg.SnapshotDir != "" {

@@ -27,9 +27,15 @@ type Client struct {
 
 // New builds a client for base, e.g. "http://127.0.0.1:8077". Replays
 // have no client-side timeout — they stream for as long as the simulation
-// runs; cancel through the context instead.
+// runs; cancel through the context instead. The transport keeps a deep
+// idle pool per host: loadgen drives thousands of concurrent sessions at
+// one base URL, and the default pool of 2 would churn a new TCP
+// connection per request past that.
 func New(base string) *Client {
-	return &Client{base: base, hc: &http.Client{}}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 1024
+	tr.MaxIdleConnsPerHost = 512
+	return &Client{base: base, hc: &http.Client{Transport: tr}}
 }
 
 // APIError is a non-2xx daemon response.

@@ -1,0 +1,76 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/url"
+
+	"rmcc/internal/server"
+)
+
+// This file is the cluster-facing half of the client: the endpoints
+// rmcc-router serves on top of the single-daemon API, plus the two
+// node-side calls the router itself needs (statusz polling and creates
+// under a router-assigned ID). A Client pointed at a router base URL
+// uses the exact same session methods — the router proxies them — so
+// loadgen and rmcc-top work unmodified against either.
+
+// Statusz fetches the one-page operational summary of a single daemon.
+func (c *Client) Statusz(ctx context.Context) (server.StatuszInfo, error) {
+	var info server.StatuszInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/statusz", nil)
+	if err != nil {
+		return info, err
+	}
+	return info, c.do(req, &info)
+}
+
+// CreateSessionRaw creates a session from a pre-encoded config document,
+// optionally under a caller-assigned ID (the router's consistent-hash
+// placement path; empty id lets the daemon issue one).
+func (c *Client) CreateSessionRaw(ctx context.Context, id string, body []byte) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	u := c.base + "/v1/sessions"
+	if id != "" {
+		u += "?id=" + url.QueryEscape(id)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return info, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return info, c.do(req, &info)
+}
+
+// Cluster fetches the router's view of its node set.
+func (c *Client) Cluster(ctx context.Context) (server.ClusterInfo, error) {
+	var info server.ClusterInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cluster", nil)
+	if err != nil {
+		return info, err
+	}
+	return info, c.do(req, &info)
+}
+
+// DrainNode asks the router to migrate every session off the node
+// (identified by host:port) and take it out of the ring.
+func (c *Client) DrainNode(ctx context.Context, node string) (server.DrainResult, error) {
+	var res server.DrainResult
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/cluster/nodes/"+url.PathEscape(node)+"/drain", nil)
+	if err != nil {
+		return res, err
+	}
+	return res, c.do(req, &res)
+}
+
+// ActivateNode returns a drained node to active service.
+func (c *Client) ActivateNode(ctx context.Context, node string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/cluster/nodes/"+url.PathEscape(node)+"/activate", nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}

@@ -1,0 +1,60 @@
+package server
+
+// Cluster wire types shared by rmcc-router (internal/cluster) and its
+// clients. They live here — next to the session wire types — so the
+// client package can decode them without importing the router.
+
+// ClusterNode is one rmccd node as the router sees it.
+type ClusterNode struct {
+	// ID is the node identity: the host:port the router proxies to.
+	ID  string `json:"id"`
+	URL string `json:"url"`
+	// State is the admin lifecycle: active | draining | drained.
+	State string `json:"state"`
+	// Healthy reflects the health checker's current verdict.
+	Healthy bool `json:"healthy"`
+	// InRing marks nodes eligible for new sessions (active and healthy).
+	InRing bool `json:"in_ring"`
+	// Sessions is the node's rmccd_sessions_active gauge at the last
+	// successful scrape.
+	Sessions int `json:"sessions"`
+	// ReplayP99us is the node's replay-endpoint p99 latency (µs) from its
+	// rmccd_request_duration_us histogram at the last successful scrape.
+	ReplayP99us float64 `json:"replay_p99_us"`
+	// LastError is the most recent health-check failure, empty when the
+	// last check passed.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ClusterInfo is the GET /v1/cluster response: the router's full view of
+// its node set and routed sessions.
+type ClusterInfo struct {
+	Nodes []ClusterNode `json:"nodes"`
+	// Sessions counts sessions with a known routed location.
+	Sessions int `json:"sessions"`
+	// VNodes is the virtual-node count per physical node on the hash ring.
+	VNodes int `json:"vnodes"`
+}
+
+// DrainResult is the POST /v1/cluster/nodes/{id}/drain response: the
+// outcome of migrating every session off the node.
+type DrainResult struct {
+	Node     string `json:"node"`
+	Sessions int    `json:"sessions"`
+	Migrated int    `json:"migrated"`
+	Failed   int    `json:"failed"`
+	// Errors carries one message per failed migration (capped).
+	Errors      []string `json:"errors,omitempty"`
+	WallSeconds float64  `json:"wall_seconds"`
+}
+
+// PeekSnapshotSessionID reads just the session ID out of an encoded
+// checkpoint blob — what the router needs to route a restore to the
+// session's ring owner without decoding the full simulator state.
+func PeekSnapshotSessionID(data []byte) (string, error) {
+	meta, _, err := decodeSessionMeta(data)
+	if err != nil {
+		return "", err
+	}
+	return meta.ID, nil
+}

@@ -33,7 +33,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		classes[class] = s.reg.Counter("rmccd_requests_total", cntHelp,
 			obs.L("class", class), obs.L("endpoint", endpoint))
 	}
-	traced := endpoint != "healthz" && endpoint != "metrics"
+	traced := endpoint != "healthz" && endpoint != "metrics" && endpoint != "statusz"
 	return func(w http.ResponseWriter, r *http.Request) {
 		var span obs.Span
 		if traced {

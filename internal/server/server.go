@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -317,6 +318,10 @@ func (s *Server) initRoutes() {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/replay", s.instrument("replay", s.handleReplay))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	// The operational summary also lives on the service mux (not just the
+	// loopback debug listener) so a router can health-check nodes over the
+	// same address it proxies to.
+	s.mux.HandleFunc("GET /statusz", s.instrument("statusz", s.handleStatusz))
 }
 
 // Handler returns the routed handler.
@@ -438,6 +443,40 @@ func (s *Server) lookup(id string) *session {
 	return s.sessions[id]
 }
 
+// validSessionID reports whether id has the daemon shape: "s-" plus 1-16
+// lowercase hex digits. Everything accepting externally supplied IDs
+// (router-assigned creates, restore blobs) must gate on this — the ID is
+// joined into a checkpoint file name, so arbitrary strings are a path
+// traversal waiting to happen.
+func validSessionID(id string) bool {
+	hexPart, ok := strings.CutPrefix(id, "s-")
+	if !ok || len(hexPart) == 0 || len(hexPart) > 16 {
+		return false
+	}
+	for i := 0; i < len(hexPart); i++ {
+		c := hexPart[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceNextID keeps the self-issued ID counter ahead of an externally
+// supplied (router-assigned or restored) session ID.
+func (s *Server) advanceNextID(id string) {
+	n, err := parseSessionID(id)
+	if err != nil {
+		return
+	}
+	for {
+		cur := s.nextID.Load()
+		if n <= cur || s.nextID.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // --- handlers ---
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -470,7 +509,19 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := s.cfg.Now()
-	id := fmt.Sprintf("s-%08x", s.nextID.Add(1))
+	// The router assigns IDs up front (?id=) so it can consistent-hash a
+	// session onto a node before the session exists. IDs become checkpoint
+	// file names, so only the strict daemon shape is accepted.
+	id := r.URL.Query().Get("id")
+	if id != "" {
+		if !validSessionID(id) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("invalid session id %q (want s-<hex>, at most 16 hex digits)", id))
+			return
+		}
+	} else {
+		id = fmt.Sprintf("s-%08x", s.nextID.Add(1))
+	}
 	sess := &session{
 		id:        id,
 		shard:     s.pool.shardFor(id),
@@ -500,8 +551,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("session limit reached (%d)", s.cfg.MaxSessions))
 		return
 	}
+	if _, exists := s.sessions[id]; exists {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict,
+			fmt.Sprintf("session %q already exists", id))
+		return
+	}
 	s.sessions[id] = sess
 	s.mu.Unlock()
+	// Explicit IDs must never collide with later self-issued ones.
+	s.advanceNextID(id)
 	s.mSessionsCreated.Inc()
 	sess.lg.Info("session created",
 		"mode", sess.mode, "scheme", sess.scheme,

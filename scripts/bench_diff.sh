@@ -20,7 +20,13 @@ cd "$(dirname "$0")/.."
 
 baseline="${BASELINE:-}"
 if [ -z "$baseline" ]; then
-    baseline="$(ls BENCH_*.json 2>/dev/null | grep -v manifest | sort | tail -n 1 || true)"
+    # Newest checked-in report: BENCH_<date>.json sorts lexically by date,
+    # so the last glob match wins. Manifests sit beside reports and must
+    # not be picked.
+    for f in BENCH_*.json; do
+        case "$f" in *manifest*) continue ;; esac
+        [ -e "$f" ] && baseline="$f"
+    done
 fi
 if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
     echo "bench_diff: no checked-in BENCH_<date>.json baseline found" >&2

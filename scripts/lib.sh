@@ -1,0 +1,43 @@
+# shellcheck shell=bash
+# Shared helpers for the smoke scripts. Source after `set -euo pipefail`:
+#
+#   . "$(dirname "$0")/lib.sh"
+#
+# Every daemon boot in the smokes follows the same flake-proof pattern:
+# listen on host:0, write the resolved address to a -port-file, then
+# wait_file for the address and wait_ready for /statusz before sending
+# traffic. No fixed ports, no bare sleeps.
+
+# wait_file <path> [tries]: block until the file exists and is
+# non-empty, polling at 100ms. Default budget 15s.
+wait_file() {
+    local path="$1" tries="${2:-150}" i
+    for ((i = 0; i < tries; i++)); do
+        [ -s "$path" ] && return 0
+        sleep 0.1
+    done
+    echo "wait_file: $path still empty after $((tries / 10))s" >&2
+    return 1
+}
+
+# wait_ready <host:port> [tries]: block until GET /statusz answers 200 —
+# the daemon (or router) is routing requests, not merely listening.
+wait_ready() {
+    local addr="$1" tries="${2:-150}" i
+    for ((i = 0; i < tries; i++)); do
+        curl -fsS "http://$addr/statusz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "wait_ready: http://$addr/statusz not answering after $((tries / 10))s" >&2
+    return 1
+}
+
+# count_files <glob...>: count existing files without parsing ls. Call
+# unquoted so the shell expands the glob: count_files "$dir"/*.snap
+count_files() {
+    local n=0 f
+    for f in "$@"; do
+        [ -e "$f" ] && n=$((n + 1))
+    done
+    echo "$n"
+}

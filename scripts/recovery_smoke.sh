@@ -24,6 +24,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/lib.sh
+. scripts/lib.sh
 
 sessions="${1:-4}"
 accesses="${2:-200000}"
@@ -43,12 +45,9 @@ start_daemon() {
         -log-level info -log-format json \
         2>> "$1" &
     daemon_pid=$!
-    rm -f "$workdir/addr.prev"
-    for _ in $(seq 1 100); do
-        [ -s "$workdir/addr" ] && break
-        sleep 0.1
-    done
+    wait_file "$workdir/addr"
     addr="$(cat "$workdir/addr")"
+    wait_ready "$addr"
 }
 
 : > "$workdir/addr"
@@ -61,7 +60,7 @@ echo "recovery-smoke: $sessions sessions x $accesses accesses, SIGKILL after $cr
     -crash-after "$crash_after" -crash-pid "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
 
-snaps=$(ls "$snapdir"/*.snap 2>/dev/null | wc -l)
+snaps=$(count_files "$snapdir"/*.snap)
 echo "recovery-smoke: daemon killed; $snaps checkpoint files survived" >&2
 if [ "$snaps" -lt 1 ]; then
     echo "recovery-smoke: no checkpoints were cut before the crash" >&2
@@ -72,7 +71,7 @@ fi
 # Sabotage: truncate one checkpoint's state (its meta section survives, so
 # recovery must fall back to a fresh session under the same ID) and plant
 # pure garbage (no meta: recovery must skip it, not die).
-victim="$(ls "$snapdir"/*.snap | head -1)"
+for f in "$snapdir"/*.snap; do victim="$f"; break; done
 size=$(wc -c < "$victim")
 truncate -s $((size - 64)) "$victim"
 echo "not a snapshot" > "$snapdir/s-deadbeef.snap"
@@ -82,12 +81,7 @@ echo "recovery-smoke: truncated $(basename "$victim") and planted garbage checkp
 start_daemon "$workdir/rmccd2.log"
 echo "recovery-smoke: restarted rmccd (pid $daemon_pid) on $addr" >&2
 
-for _ in $(seq 1 100); do
-    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
-    sleep 0.1
-done
-
-recovered=$(curl -fsS "http://$addr/v1/sessions" | grep -c '"id"')
+recovered=$(curl -fsS "http://$addr/v1/sessions" | grep -c '"id"' || true)
 if [ "$recovered" -ne "$sessions" ]; then
     echo "recovery-smoke: recovered $recovered sessions, want $sessions" >&2
     cat "$workdir/rmccd2.log" >&2
@@ -119,7 +113,10 @@ fi
 grep -q '"msg":"final checkpoint"' "$workdir/rmccd2.log" \
     || { echo "recovery-smoke: daemon log missing final-checkpoint line" >&2; cat "$workdir/rmccd2.log" >&2; exit 1; }
 
-final=$(ls "$snapdir"/*.snap 2>/dev/null | grep -cv deadbeef)
+final=0
+for f in "$snapdir"/*.snap; do
+    case "$f" in *deadbeef*) ;; *) [ -e "$f" ] && final=$((final + 1)) ;; esac
+done
 if [ "$final" -ne "$sessions" ]; then
     echo "recovery-smoke: $final final checkpoints on disk, want $sessions" >&2
     exit 1

@@ -27,6 +27,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/lib.sh
+. scripts/lib.sh
 
 sessions="${1:-8}"
 accesses="${2:-20000}"
@@ -48,12 +50,11 @@ go build -o "$workdir/rmcc-trace" ./cmd/rmcc-trace
     2> "$workdir/rmccd.log" &
 daemon_pid=$!
 
-for _ in $(seq 1 100); do
-    [ -s "$workdir/addr" ] && [ -s "$workdir/debug_addr" ] && break
-    sleep 0.1
-done
+wait_file "$workdir/addr"
+wait_file "$workdir/debug_addr"
 addr="$(cat "$workdir/addr")"
 debug_addr="$(cat "$workdir/debug_addr")"
+wait_ready "$addr"
 echo "service-smoke: rmccd (pid $daemon_pid) on $addr, debug on $debug_addr" >&2
 
 echo "service-smoke: $sessions concurrent sessions x $accesses accesses (workload replay, -check, -keep)" >&2
@@ -127,7 +128,7 @@ grep -q '"session":"s-' "$workdir/rmccd.log" \
 echo "service-smoke: drain must have checkpointed every kept session" >&2
 grep -q '"msg":"final checkpoint"' "$workdir/rmccd.log" \
     || { echo "service-smoke: daemon log missing final-checkpoint line" >&2; cat "$workdir/rmccd.log" >&2; exit 1; }
-snaps=$(ls "$workdir/snapshots"/*.snap 2>/dev/null | wc -l)
+snaps=$(count_files "$workdir/snapshots"/*.snap)
 if [ "$snaps" -ne "$sessions" ]; then
     echo "service-smoke: $snaps checkpoint files after drain, want $sessions" >&2
     exit 1
@@ -140,16 +141,10 @@ echo "service-smoke: restart over the same snapshot dir -> sessions recovered" >
     -log-level info -log-format json \
     2> "$workdir/rmccd2.log" &
 daemon_pid=$!
-for _ in $(seq 1 100); do
-    [ -s "$workdir/addr" ] && break
-    sleep 0.1
-done
+wait_file "$workdir/addr"
 addr="$(cat "$workdir/addr")"
-for _ in $(seq 1 100); do
-    curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
-    sleep 0.1
-done
-recovered=$(curl -fsS "http://$addr/v1/sessions" | grep -c "\"accesses\": $accesses")
+wait_ready "$addr"
+recovered=$(curl -fsS "http://$addr/v1/sessions" | grep -c "\"accesses\": $accesses" || true)
 if [ "$recovered" -ne "$sessions" ]; then
     echo "service-smoke: $recovered recovered sessions at $accesses accesses, want $sessions" >&2
     curl -fsS "http://$addr/v1/sessions" >&2 || true
