@@ -201,3 +201,24 @@ func BenchmarkConvergence(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkLeakage regenerates the sidechannel leakage figure: mutual
+// information between an adversary's secret and each observable channel
+// under SGX/Morphable/RMCC/hardened-RMCC (docs/SIDECHANNEL.md).
+func BenchmarkLeakage(b *testing.B) {
+	runFigure(b, "leakage", func(t *rmcc.ResultTable, b *testing.B) {
+		if v, ok := t.Cell("ppSweep / memo-insert", "RMCC"); ok {
+			b.ReportMetric(v, "stock-insert-bits")
+		}
+		if v, ok := t.Cell("ppSweep / memo-insert", "RMCC hardened"); ok {
+			b.ReportMetric(v, "hardened-insert-bits")
+		}
+	})
+}
+
+// BenchmarkHardenedCost regenerates the hardened-mode pricing figure: IPC
+// of stock vs hardened RMCC normalized to non-secure, across the eleven
+// workloads.
+func BenchmarkHardenedCost(b *testing.B) {
+	runFigure(b, "hardenedCost", meanOf(2, "hardened-over-stock"))
+}

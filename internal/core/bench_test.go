@@ -29,3 +29,22 @@ func BenchmarkMemoLookupOverMax(b *testing.B) {
 		tbl.Lookup(1<<20+uint64(i&1023), true)
 	}
 }
+
+// BenchmarkMemoLookupHardened measures the same mixed stream with the
+// hardened (randomized-insertion) policy enabled, including live insertion
+// pressure. Must stay zero allocs/op: hardening may not tax the read path.
+func BenchmarkMemoLookupHardened(b *testing.B) {
+	tbl := newTable(b, func(c *Config) {
+		c.OverMaxThreshold = 2048
+		c.RandomizeInsertion = true
+		c.InsertSeed = 1
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := uint64(i) & 127
+		if i&1 == 1 {
+			v += 1 << 20
+		}
+		tbl.Lookup(v, true)
+	}
+}

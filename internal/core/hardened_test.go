@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"rmcc/internal/obs"
+)
+
+// driveInsertion pushes enough over-max reads through the table to fire
+// exactly one group insertion.
+func driveInsertion(tbl *Table, value uint64) {
+	for i := uint64(0); i < tbl.Config().OverMaxThreshold; i++ {
+		tbl.Lookup(value, true)
+	}
+}
+
+func hardenedTable(t testing.TB, seed uint64) *Table {
+	return newTable(t, func(c *Config) {
+		c.OverMaxThreshold = 64
+		c.RandomizeInsertion = true
+		c.InsertSeed = seed
+		c.EnableShadow = false
+		c.EnableMRU = false
+	})
+}
+
+// TestRandomizedInsertionDeterministic: two tables with the same InsertSeed
+// and the same read stream must evolve identically (reports, checkpoints
+// and figures rely on it); a different seed must diverge within a few
+// insertions.
+func TestRandomizedInsertionDeterministic(t *testing.T) {
+	a, b := hardenedTable(t, 42), hardenedTable(t, 42)
+	c := hardenedTable(t, 43)
+	diverged := false
+	for round := 0; round < 12; round++ {
+		v := uint64(1000 + 100*round)
+		driveInsertion(a, v)
+		driveInsertion(b, v)
+		driveInsertion(c, v)
+		av, bv, cv := a.LiveValues(), b.LiveValues(), c.LiveValues()
+		if len(av) != len(bv) {
+			t.Fatalf("round %d: live-value counts differ (%d vs %d)", round, len(av), len(bv))
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("round %d: same seed diverged at value %d (%d vs %d)",
+					round, i, av[i], bv[i])
+			}
+		}
+		if len(av) != len(cv) {
+			diverged = true
+		} else {
+			for i := range av {
+				if av[i] != cv[i] {
+					diverged = true
+				}
+			}
+		}
+	}
+	if !diverged {
+		t.Error("different InsertSeed never diverged over 12 insertions")
+	}
+}
+
+// TestRandomizedInsertionOnLinearLadder: every hardened insertion start
+// must come from the linear watchpoint ladder (X+1+8i, i = 0..16),
+// possibly clamped to OSM+1 — never the exponential tail, which would
+// re-leak the system max (see Config.RandomizeInsertion).
+func TestRandomizedInsertionOnLinearLadder(t *testing.T) {
+	tbl := hardenedTable(t, 7)
+	tr := obs.NewTracer(256)
+	tbl.SetTracer(tr, 0)
+	for round := 0; round < 20; round++ {
+		driveInsertion(tbl, uint64(1000+500*round))
+	}
+	inserts := 0
+	for _, e := range tr.Events() {
+		if e.Kind != obs.EvMemoInsert {
+			continue
+		}
+		inserts++
+		off := e.V1 - e.V2 // start − max-before
+		onLadder := off >= 1 && off <= 129 && (off-1)%8 == 0
+		if !onLadder {
+			t.Errorf("insertion start %d (max before %d, offset %d) is off the linear ladder",
+				e.V1, e.V2, off)
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("no insertions fired")
+	}
+}
+
+// TestRandomizedInsertionClampsToOSM: the OSM clamp still bounds hardened
+// draws — no group may *start* above OSM+1, the same §IV-D2 bound the
+// stock policy observes (the group body may extend GroupSize−1 past it,
+// exactly as in stock).
+func TestRandomizedInsertionClampsToOSM(t *testing.T) {
+	osm := uint64(140)
+	cfg := DefaultConfig()
+	cfg.EpochAccesses = 1000
+	cfg.OverMaxThreshold = 64
+	cfg.RandomizeInsertion = true
+	cfg.InsertSeed = 9
+	tbl := MustNewTable(cfg, fakeFill, func() uint64 { return osm })
+	tr := obs.NewTracer(256)
+	tbl.SetTracer(tr, 0)
+	for round := 0; round < 30; round++ {
+		driveInsertion(tbl, 200+uint64(round))
+	}
+	inserts := 0
+	for _, e := range tr.Events() {
+		if e.Kind != obs.EvMemoInsert {
+			continue
+		}
+		inserts++
+		if e.V1 > osm+1 {
+			t.Fatalf("insertion start %d exceeds OSM+1 (%d)", e.V1, osm+1)
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("no insertions fired")
+	}
+}
+
+// TestHardenedLookupNoAllocs guards the hardened read-hit path: turning on
+// RandomizeInsertion must not add allocations to Lookup (the satellite
+// alloc guard; the draw only runs inside insertNewGroup).
+func TestHardenedLookupNoAllocs(t *testing.T) {
+	tbl := newTable(t, func(c *Config) {
+		c.OverMaxThreshold = 1 << 40
+		c.RandomizeInsertion = true
+		c.InsertSeed = 1
+	})
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		v := uint64(i) & 127
+		if i&1 == 1 {
+			v += 1 << 20
+		}
+		tbl.Lookup(v, true)
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("hardened Lookup allocates %v allocs/run, want 0", avg)
+	}
+}

@@ -34,6 +34,15 @@ func (t *Table) EncodeState(e *snapshot.Enc) {
 	e.U64(t.overMaxReads)
 	e.U64s(t.watchBelow)
 	e.F64(t.budget.available)
+	// Hardened-insertion RNG state (all zero when the stock policy is
+	// active), so randomized insertion resumes bit-identically.
+	var rs [4]uint64
+	if t.insertRNG != nil {
+		rs = t.insertRNG.State()
+	}
+	for _, v := range rs {
+		e.U64(v)
+	}
 	e.Binary(&t.stats)
 }
 
@@ -101,6 +110,13 @@ func (t *Table) DecodeState(d *snapshot.Dec) error {
 	t.recomputeWatchpoints()
 	d.U64sInto(t.watchBelow)
 	t.budget.available = d.F64()
+	var rs [4]uint64
+	for i := range rs {
+		rs[i] = d.U64()
+	}
+	if t.insertRNG != nil {
+		t.insertRNG.SetState(rs)
+	}
 	d.Binary(&t.stats)
 	return d.Err()
 }

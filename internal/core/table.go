@@ -28,6 +28,7 @@ import (
 
 	"rmcc/internal/crypto/otp"
 	"rmcc/internal/obs"
+	"rmcc/internal/rng"
 )
 
 // Config parameterizes one memoization table.
@@ -47,6 +48,20 @@ type Config struct {
 	EnableMRU        bool // §IV-C4 evicted-value MRU cache
 	EnableShadow     bool // shadow-group frequency tracking
 	EnableReadUpdate bool // §IV-C1 read-triggered counter updates
+
+	// RandomizeInsertion hardens the insertion policy against the
+	// memo-insert side channel (docs/SIDECHANNEL.md): instead of choosing
+	// the new group's start as the smallest watchpoint covering
+	// CoverageQuantile of the epoch's reads — a deterministic function of
+	// the victim's counter height, and therefore of its write count — the
+	// table draws uniformly from the linear watchpoint ladder (X+1+8i,
+	// i = 0..16). The draw deliberately excludes the exponential tail:
+	// those starts would almost always clamp to OSM+1, re-leaking the
+	// system's maximum counter. Off by default (the paper's policy).
+	RandomizeInsertion bool
+	// InsertSeed seeds the hardened draw (only used when
+	// RandomizeInsertion is set). Deterministic per seed.
+	InsertSeed uint64
 }
 
 // DefaultConfig returns the paper's main configuration.
@@ -168,6 +183,10 @@ type Table struct {
 
 	budget budget
 
+	// insertRNG drives randomized group insertion (Config.RandomizeInsertion);
+	// nil when the stock coverage-quantile policy is active.
+	insertRNG *rng.Source
+
 	stats Stats
 
 	// trace receives lifecycle events (insertions, epoch rollovers, budget
@@ -206,6 +225,9 @@ func NewTable(cfg Config, fill func(uint64) otp.CtrResult, sysMax func() uint64)
 		budget: budget{perEpoch: cfg.BudgetFrac * float64(cfg.EpochAccesses)},
 	}
 	t.budget.available = t.budget.perEpoch
+	if cfg.RandomizeInsertion {
+		t.insertRNG = rng.New(cfg.InsertSeed)
+	}
 	for i := range t.groups {
 		t.installGroup(i, uint64(i*cfg.GroupSize))
 	}
@@ -469,7 +491,17 @@ func (t *Table) recomputeWatchpoints() {
 // system's maximum counter value still only advances one step per write
 // (§IV-C3, §IV-D2).
 func (t *Table) insertNewGroup() {
-	start := t.chooseNewStart()
+	maxBefore := t.maxLive
+	var start uint64
+	if t.insertRNG != nil {
+		// Hardened policy: a uniform draw over the linear watchpoint ladder
+		// decouples the new group's start from the epoch read histogram
+		// (docs/SIDECHANNEL.md). The exponential tail is excluded on
+		// purpose — see Config.RandomizeInsertion.
+		start = t.watchpoints[t.insertRNG.Uint64n(17)]
+	} else {
+		start = t.chooseNewStart()
+	}
 	if max := t.sysMax(); start > max+1 {
 		start = max + 1
 	}
@@ -490,7 +522,7 @@ func (t *Table) insertNewGroup() {
 	t.evictToShadow(victim)
 	t.installGroup(victim, start)
 	t.stats.Insertions++
-	t.trace.Emit(obs.EvMemoInsert, t.traceID, start, 0)
+	t.trace.Emit(obs.EvMemoInsert, t.traceID, start, maxBefore)
 	t.recomputeWatchpoints()
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"rmcc/internal/secmem/counter"
 	"rmcc/internal/secmem/engine"
+	"rmcc/internal/sidechan"
 	"rmcc/internal/sim"
 	"rmcc/internal/stats"
 	"rmcc/internal/workload"
@@ -84,14 +85,17 @@ func QuickOptions() Options {
 	}
 }
 
-// workloads returns the selected workload list (fresh instances).
+// workloads returns the selected workload list (fresh instances). The
+// default is the paper's eleven — registered extras (e.g. the sidechannel
+// adversaries) never enter a paper figure unless named explicitly.
 func (o Options) workloads() []workload.Workload {
 	all := workload.Suite(o.Size, o.Seed)
-	if o.Workloads == nil {
-		return all
+	names := o.Workloads
+	if names == nil {
+		names = workload.PaperNames()
 	}
 	want := map[string]bool{}
-	for _, n := range o.Workloads {
+	for _, n := range names {
 		want[n] = true
 	}
 	var out []workload.Workload
@@ -147,17 +151,18 @@ func (o Options) detailedConfig(mode engine.Mode, scheme counter.Scheme) sim.Det
 // detailed figures share most of their runs (Figure 13's Morphable run is
 // Figure 14's and Figure 17's 15 ns point), and all runs are deterministic.
 type runKey struct {
-	name   string
-	mode   engine.Mode
-	scheme counter.Scheme
-	aesNS  int64
-	ctrKB  int
-	spec   bool
-	size   workload.Size
-	seed   uint64
-	warm   uint64
-	meas   uint64
-	cores  int
+	name     string
+	mode     engine.Mode
+	scheme   counter.Scheme
+	aesNS    int64
+	ctrKB    int
+	spec     bool
+	hardened bool
+	size     workload.Size
+	seed     uint64
+	warm     uint64
+	meas     uint64
+	cores    int
 }
 
 // detailedEntry is one cached detailed simulation. The per-entry Once is
@@ -179,7 +184,14 @@ var (
 // detailedRun executes (or recalls) one detailed simulation.
 func (o Options) detailedRun(name string, mode engine.Mode, scheme counter.Scheme,
 	aesNS int64, ctrKB int, spec bool) sim.DetailedResult {
-	key := runKey{name, mode, scheme, aesNS, ctrKB, spec,
+	return o.detailedRunH(name, mode, scheme, aesNS, ctrKB, spec, false)
+}
+
+// detailedRunH is detailedRun with the hardened (randomized-insertion)
+// table mode as an extra axis — the FigureHardenedCost runs.
+func (o Options) detailedRunH(name string, mode engine.Mode, scheme counter.Scheme,
+	aesNS int64, ctrKB int, spec, hardened bool) sim.DetailedResult {
+	key := runKey{name, mode, scheme, aesNS, ctrKB, spec, hardened,
 		o.Size, o.Seed, o.WarmupAccesses, o.MeasureAccesses, o.Cores}
 	detailedCacheMu.Lock()
 	e, ok := detailedCache[key]
@@ -198,6 +210,9 @@ func (o Options) detailedRun(name string, mode engine.Mode, scheme counter.Schem
 		cfg.AESLat = aesNS * 1000
 		cfg.Engine.CounterCacheBytes = ctrKB << 10
 		cfg.SpeculativeVerification = spec
+		if hardened {
+			sidechan.HardenConfig(&cfg.Engine, o.Seed)
+		}
 		e.res = sim.RunDetailed(w, cfg)
 	})
 	return e.res

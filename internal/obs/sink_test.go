@@ -1,0 +1,58 @@
+package obs
+
+import "testing"
+
+type recordSink struct{ got []Event }
+
+func (r *recordSink) OnEvent(e Event) { r.got = append(r.got, e) }
+
+// TestTracerSinkForwarding: an attached sink sees every emitted event,
+// synchronously and in order; detaching stops delivery without disturbing
+// the ring.
+func TestTracerSinkForwarding(t *testing.T) {
+	tr := NewTracer(8)
+	s := &recordSink{}
+	tr.Emit(EvCtrCacheHit, 1, 2, 3) // before attach: not delivered
+	tr.SetSink(s)
+	tr.Emit(EvCtrCacheMiss, 10, 20, 1)
+	tr.Emit(EvMemoInsert, 0, 137, 127)
+	tr.SetSink(nil)
+	tr.Emit(EvMemoHit, 99, 0, 0) // after detach: not delivered
+
+	if len(s.got) != 2 {
+		t.Fatalf("sink saw %d events, want 2", len(s.got))
+	}
+	if s.got[0].Kind != EvCtrCacheMiss || s.got[0].Addr != 10 || s.got[0].V2 != 1 {
+		t.Errorf("event 0 = %+v", s.got[0])
+	}
+	if s.got[1].Kind != EvMemoInsert || s.got[1].V1 != 137 || s.got[1].V2 != 127 {
+		t.Errorf("event 1 = %+v", s.got[1])
+	}
+	if s.got[0].Seq != 1 || s.got[1].Seq != 2 {
+		t.Errorf("sequence numbers = %d, %d, want 1, 2", s.got[0].Seq, s.got[1].Seq)
+	}
+	// The ring still retained everything, sink or not.
+	if tr.Total() != 4 || tr.Len() != 4 {
+		t.Errorf("ring total/len = %d/%d, want 4/4", tr.Total(), tr.Len())
+	}
+}
+
+// TestTracerSinkNilSafe: SetSink on a nil tracer is a no-op, matching
+// Emit's nil-safety (the engine carries a nil tracer when disabled).
+func TestTracerSinkNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.SetSink(&recordSink{}) // must not panic
+	tr.Emit(EvCtrCacheHit, 0, 0, 0)
+}
+
+// TestTracerEmitDetachedAllocFree: the disabled-sink fast path must not
+// allocate (the tracer is on the engine's per-access path).
+func TestTracerEmitDetachedAllocFree(t *testing.T) {
+	tr := NewTracer(64)
+	avg := testing.AllocsPerRun(1000, func() {
+		tr.Emit(EvCtrCacheMiss, 0x2000, 1, 0)
+	})
+	if avg != 0 {
+		t.Errorf("detached Emit allocates %v allocs/run, want 0", avg)
+	}
+}

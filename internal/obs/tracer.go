@@ -28,7 +28,9 @@ const (
 	// Addr = data address, V1 = counter value.
 	EvMemoMiss
 	// EvMemoInsert: the table installed a new memoized counter-value
-	// group. Addr = table id (0 = L0, 1 = L1), V1 = group start value.
+	// group. Addr = table id (0 = L0, 1 = L1), V1 = group start value,
+	// V2 = table max before the insertion (so V1-V2 is the insertion
+	// offset the leakage analyzer bins).
 	EvMemoInsert
 	// EvEpochRollover: a memoization table crossed its epoch boundary.
 	// Addr = table id, V1 = completed epoch ordinal, V2 = remaining budget
@@ -125,6 +127,15 @@ type Tracer struct {
 	buf    []Event
 	next   uint64 // total events emitted
 	counts [numEventKinds]uint64
+	sink   EventSink
+}
+
+// EventSink receives every event a tracer records, synchronously from
+// Emit. Implementations must not allocate or block if they sit on a hot
+// path (the sidechannel leakage analyzer is the canonical consumer); they
+// must not call back into the tracer.
+type EventSink interface {
+	OnEvent(Event)
 }
 
 // DefaultTracerCap is the default ring capacity (64 Ki events ≈ 2.5 MiB).
@@ -137,6 +148,16 @@ func NewTracer(capacity int) *Tracer {
 		capacity = DefaultTracerCap
 	}
 	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// SetSink attaches a synchronous per-event consumer (nil detaches). The
+// detached state is the default and adds no work to Emit beyond one nil
+// check.
+func (t *Tracer) SetSink(s EventSink) {
+	if t == nil {
+		return
+	}
+	t.sink = s
 }
 
 // Emit records one event. No-op on a nil tracer.
@@ -152,6 +173,9 @@ func (t *Tracer) Emit(kind EventKind, addr, v1, v2 uint64) {
 	e.V2 = v2
 	t.next++
 	t.counts[kind]++
+	if t.sink != nil {
+		t.sink.OnEvent(*e)
+	}
 }
 
 // Total returns the number of events emitted over the tracer's lifetime

@@ -57,6 +57,16 @@ func (r *Source) Uint64() uint64 {
 // Uint32 returns the next 32 uniformly distributed bits.
 func (r *Source) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
 
+// State returns the generator's internal xoshiro256** state, for
+// checkpointing. SetState restores it; together they make components that
+// carry a Source (e.g. the hardened memo table's insertion randomness)
+// snapshot-resumable bit-identically.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with one previously
+// returned by State.
+func (r *Source) SetState(s [4]uint64) { r.s = s }
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {

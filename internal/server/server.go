@@ -19,6 +19,11 @@ import (
 	"rmcc/internal/obs"
 	"rmcc/internal/secmem/engine"
 	"rmcc/internal/sim"
+
+	// Register the sidechannel adversary workloads (ppSweep, memjam4k) so
+	// every rmccd session and rmcc-loadgen shortcut can resolve them by
+	// name like any paper benchmark.
+	_ "rmcc/internal/sidechan"
 )
 
 // Config parameterizes the daemon. The zero value is usable: every field

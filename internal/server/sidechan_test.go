@@ -1,0 +1,47 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+
+	"rmcc/internal/server"
+)
+
+// TestAdversarySessions: the sidechannel adversaries resolve through the
+// service path like any paper benchmark — create an rmccd session by name,
+// replay a slice of the access stream, and get engine activity back. This
+// is the workload-shortcut satellite: rmcc-loadgen and rmccd share this
+// exact resolution path (SessionConfig.Workload → workload.ByName).
+func TestAdversarySessions(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+
+	for _, name := range []string{"ppSweep", "memjam4k"} {
+		info, err := c.CreateSession(ctx, server.SessionConfig{
+			Mode:     "rmcc",
+			Scheme:   "morphable",
+			Seed:     7,
+			Workload: name,
+			Size:     "test",
+		})
+		if err != nil {
+			t.Fatalf("%s: create: %v", name, err)
+		}
+		if info.Workload != name {
+			t.Fatalf("%s: session bound %q", name, info.Workload)
+		}
+		stats, err := c.ReplayWorkload(ctx, info.ID, 20_000, 0, nil)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", name, err)
+		}
+		if stats.Accesses != 20_000 {
+			t.Fatalf("%s: accesses = %d, want 20000", name, stats.Accesses)
+		}
+		if stats.Engine.Reads == 0 {
+			t.Fatalf("%s: no engine reads recorded", name)
+		}
+		if err := c.DeleteSession(ctx, info.ID); err != nil {
+			t.Fatalf("%s: delete: %v", name, err)
+		}
+	}
+}

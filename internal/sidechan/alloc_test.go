@@ -1,0 +1,51 @@
+package sidechan
+
+import (
+	"testing"
+
+	"rmcc/internal/obs"
+)
+
+// TestAnalyzerIngestAllocFree: the analyzer's OnEvent sits on the engine's
+// per-access emit path, so it must never allocate — the satellite alloc
+// guard for the tap.
+func TestAnalyzerIngestAllocFree(t *testing.T) {
+	an := NewAnalyzer(AnalyzerConfig{})
+	events := []obs.Event{
+		ctrMiss(0x2000, false),
+		ctrMiss(0x4200, true),
+		{Kind: obs.EvCtrCacheHit, Addr: 0x600, V2: 1},
+		memoInsert(0, 1041, 1000),
+		memoInsert(1, 77, 0),
+		{Kind: obs.EvEpochRollover, Addr: 0}, // unhandled kind
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		for _, e := range events {
+			an.OnEvent(e)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Analyzer.OnEvent allocates %v allocs/run, want 0", avg)
+	}
+}
+
+// TestTracerEmitAllocFree: emitting through the tracer — detached, and
+// with the analyzer attached — must stay allocation-free, so attaching the
+// tap costs the simulation nothing on the hot path.
+func TestTracerEmitAllocFree(t *testing.T) {
+	tr := obs.NewTracer(128)
+	detached := testing.AllocsPerRun(1000, func() {
+		tr.Emit(obs.EvCtrCacheMiss, 0x2000, 5, 0)
+	})
+	if detached != 0 {
+		t.Errorf("detached tracer Emit allocates %v allocs/run, want 0", detached)
+	}
+	tr.SetSink(NewAnalyzer(AnalyzerConfig{}))
+	attached := testing.AllocsPerRun(1000, func() {
+		tr.Emit(obs.EvCtrCacheMiss, 0x2000, 5, 0)
+		tr.Emit(obs.EvMemoInsert, 0, 1041, 1000)
+	})
+	if attached != 0 {
+		t.Errorf("tracer Emit with analyzer sink allocates %v allocs/run, want 0", attached)
+	}
+}

@@ -1,0 +1,180 @@
+package sidechan
+
+import (
+	"math"
+	"testing"
+
+	"rmcc/internal/obs"
+)
+
+// TestMutualInformationGolden checks the plug-in estimate and the
+// Miller–Madow correction against hand-computed values.
+func TestMutualInformationGolden(t *testing.T) {
+	// Hand case: 8 samples, 2×2 alphabet, one discordant pair.
+	// Joint: p(0,0)=3/8 p(1,1)=3/8 p(1,0)=1/8 p(0,1)=1/8; marginals 1/2.
+	// raw = 2·(3/8)·log2(3/2) + 2·(1/8)·log2(1/2) = 0.75·log2(1.5) − 0.25
+	//     = 0.18872 1875…; MM = (1·1)/(16 ln2) = 0.0901689…
+	xs := []int{0, 1, 0, 1, 1, 0, 1, 0}
+	ys := []int{0, 1, 0, 1, 1, 0, 0, 1}
+	raw, corrected := MutualInformation(xs, ys)
+	if math.Abs(raw-0.188722) > 1e-5 {
+		t.Errorf("raw = %.6f, want 0.188722", raw)
+	}
+	if math.Abs(corrected-0.098553) > 1e-5 {
+		t.Errorf("corrected = %.6f, want 0.098553", corrected)
+	}
+
+	// Perfect 4-ary channel: raw = 2 bits exactly.
+	var px, py []int
+	for i := 0; i < 64; i++ {
+		px = append(px, i%4)
+		py = append(py, (i%4)+10)
+	}
+	raw, corrected = MutualInformation(px, py)
+	if math.Abs(raw-2) > 1e-12 {
+		t.Errorf("perfect channel raw = %v, want 2", raw)
+	}
+	want := 2 - 9/(128*math.Ln2)
+	if math.Abs(corrected-want) > 1e-9 {
+		t.Errorf("perfect channel corrected = %v, want %v", corrected, want)
+	}
+
+	// Independent pair: corrected must floor at ~0 (raw is the MM bias).
+	var ix, iy []int
+	for i := 0; i < 256; i++ {
+		ix = append(ix, i%2)
+		iy = append(iy, (i/2)%2)
+	}
+	raw, corrected = MutualInformation(ix, iy)
+	if raw != 0 || corrected != 0 {
+		t.Errorf("independent pair = (%v, %v), want (0, 0)", raw, corrected)
+	}
+
+	// Degenerate inputs.
+	if r, c := MutualInformation(nil, nil); r != 0 || c != 0 {
+		t.Errorf("empty input = (%v, %v)", r, c)
+	}
+	if r, c := MutualInformation([]int{1}, []int{1, 2}); r != 0 || c != 0 {
+		t.Errorf("mismatched lengths = (%v, %v)", r, c)
+	}
+}
+
+func TestMapAccuracy(t *testing.T) {
+	// Symbol 0 → class 0 (3 of 4), symbol 1 → class 1 (2 of 2).
+	classes := []int{0, 0, 0, 1, 1, 1}
+	symbols := []int{0, 0, 0, 0, 1, 1}
+	acc, chance := mapAccuracy(classes, symbols)
+	if math.Abs(acc-5.0/6) > 1e-12 {
+		t.Errorf("acc = %v, want 5/6", acc)
+	}
+	if math.Abs(chance-0.5) > 1e-12 {
+		t.Errorf("chance = %v, want 1/2", chance)
+	}
+}
+
+func TestTemplateSymbols(t *testing.T) {
+	// Constant background of 100 in bin 0 everywhere; per-epoch spikes in
+	// different bins. Plain argmax would always say bin 0; the template
+	// residual must recover the spikes.
+	rows := [][]uint64{
+		{100, 5, 0, 0},
+		{100, 0, 7, 0},
+		{100, 0, 0, 9},
+		{100, 0, 0, 0}, // no residual at all → quiet symbol len(row)
+	}
+	want := []int{1, 2, 3, 4}
+	got := templateSymbols(rows)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("epoch %d: symbol %d, want %d", i, got[i], want[i])
+		}
+	}
+	if out := templateSymbols(nil); len(out) != 0 {
+		t.Errorf("empty rows produced %v", out)
+	}
+}
+
+// mkEvent helpers for synthetic ingestion.
+func ctrMiss(addr uint64, write bool) obs.Event {
+	v2 := uint64(0)
+	if write {
+		v2 = 1
+	}
+	return obs.Event{Kind: obs.EvCtrCacheMiss, Addr: addr, V2: v2}
+}
+
+func memoInsert(table, start, maxBefore uint64) obs.Event {
+	return obs.Event{Kind: obs.EvMemoInsert, Addr: table, V1: start, V2: maxBefore}
+}
+
+// TestAnalyzerBinning feeds a synthetic event stream with known structure
+// and checks every channel's recovered symbols and MI.
+func TestAnalyzerBinning(t *testing.T) {
+	an := NewAnalyzer(AnalyzerConfig{})
+	cfg := DefaultAnalyzerConfig()
+
+	// Four epochs, classes 0,1,0,1. Per epoch: a counter-set spike at set
+	// 2+class, a write page-offset spike at bin class, and one memo
+	// insertion at offset 9+32·class (band = class).
+	classes := []int{0, 1, 0, 1}
+	for _, k := range classes {
+		for i := 0; i < 10; i++ {
+			an.OnEvent(ctrMiss(uint64(2+k)<<cfg.SetShift, false))
+			an.OnEvent(ctrMiss(uint64(k)<<cfg.PageShift, true))
+		}
+		an.OnEvent(memoInsert(0, 1000+uint64(9+32*k), 1000))
+		an.OnEvent(memoInsert(1, 9999, 0)) // wrong table: must be ignored
+		an.CloseEpoch(k)
+	}
+	if an.Epochs() != 4 {
+		t.Fatalf("Epochs() = %d, want 4", an.Epochs())
+	}
+	rep := an.Report()
+	if len(rep.Channels) != 3 {
+		t.Fatalf("channels = %d, want 3", len(rep.Channels))
+	}
+	for _, name := range []string{"memo-insert", "ctr-sets", "pg-offset"} {
+		est, ok := rep.Channel(name)
+		if !ok {
+			t.Fatalf("channel %q missing", name)
+		}
+		if est.BitsRaw < 0.999 {
+			t.Errorf("%s: raw MI = %v, want ~1 bit (perfect binary channel)", name, est.BitsRaw)
+		}
+		if est.Accuracy != 1 {
+			t.Errorf("%s: accuracy = %v, want 1", name, est.Accuracy)
+		}
+		if est.Epochs != 4 || est.Classes != 2 || est.Symbols != 2 {
+			t.Errorf("%s: epochs/classes/symbols = %d/%d/%d", name, est.Epochs, est.Classes, est.Symbols)
+		}
+	}
+	if _, ok := rep.Channel("nope"); ok {
+		t.Error("unknown channel resolved")
+	}
+}
+
+// TestAnalyzerNoneSymbol: epochs without any insertion must collapse to the
+// dedicated "none" symbol, not inherit a stale band.
+func TestAnalyzerNoneSymbol(t *testing.T) {
+	an := NewAnalyzer(AnalyzerConfig{})
+	an.OnEvent(memoInsert(0, 1009, 1000))
+	an.CloseEpoch(0)
+	an.CloseEpoch(1) // silent epoch
+	rep := an.Report()
+	est, _ := rep.Channel("memo-insert")
+	if est.Symbols != 2 {
+		t.Errorf("symbols = %d, want 2 (band 0 and none)", est.Symbols)
+	}
+}
+
+// TestAnalyzerCatchAllBand: offsets beyond the banded range land in the
+// catch-all, not out of bounds.
+func TestAnalyzerCatchAllBand(t *testing.T) {
+	an := NewAnalyzer(AnalyzerConfig{})
+	an.OnEvent(memoInsert(0, 100_000, 0))  // enormous offset
+	an.OnEvent(memoInsert(0, 500, 1000))   // start below max (offset 0 guard)
+	an.CloseEpoch(0)
+	if an.cur.inserts != 0 {
+		t.Error("CloseEpoch did not reset accumulators")
+	}
+}

@@ -1,0 +1,58 @@
+package sidechan
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rmcc/internal/obs"
+)
+
+// FuzzAnalyzerIngest drives the analyzer with arbitrary event streams and
+// epoch boundaries: whatever the engine emits (or a corrupted trace
+// replays), ingestion and reporting must never panic or index out of
+// bounds.
+func FuzzAnalyzerIngest(f *testing.F) {
+	seed := make([]byte, 0, 64)
+	for _, e := range []obs.Event{
+		{Kind: obs.EvCtrCacheMiss, Addr: 0x2000, V1: 5, V2: 1},
+		{Kind: obs.EvMemoInsert, Addr: 0, V1: 1041, V2: 1000},
+		{Kind: obs.EvMemoInsert, Addr: 0, V1: 0, V2: ^uint64(0)},
+	} {
+		var b [26]byte
+		b[0] = byte(e.Kind)
+		binary.LittleEndian.PutUint64(b[1:], e.Addr)
+		binary.LittleEndian.PutUint64(b[9:], e.V1)
+		binary.LittleEndian.PutUint64(b[17:], e.V2)
+		b[25] = 1 // close an epoch after this event
+		seed = append(seed, b[:]...)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		an := NewAnalyzer(AnalyzerConfig{})
+		for len(data) >= 26 {
+			rec := data[:26]
+			data = data[26:]
+			an.OnEvent(obs.Event{
+				Kind: obs.EventKind(rec[0] % byte(obs.NumEventKinds)),
+				Addr: binary.LittleEndian.Uint64(rec[1:]),
+				V1:   binary.LittleEndian.Uint64(rec[9:]),
+				V2:   binary.LittleEndian.Uint64(rec[17:]),
+			})
+			if rec[25]&1 == 1 {
+				an.CloseEpoch(int(rec[25] >> 1 & 0x7))
+			}
+		}
+		rep := an.Report()
+		if len(rep.Channels) != 3 {
+			t.Fatalf("report has %d channels, want 3", len(rep.Channels))
+		}
+		for _, c := range rep.Channels {
+			if c.Bits < 0 || c.BitsRaw < 0 || c.Accuracy < 0 || c.Accuracy > 1 {
+				t.Fatalf("channel %s out of range: %+v", c.Channel, c)
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package sidechan
+
+import (
+	"reflect"
+	"testing"
+
+	"rmcc/internal/secmem/counter"
+	"rmcc/internal/secmem/engine"
+)
+
+// TestHardenedLeakageSmoke is the PR's headline assertion, mirrored by the
+// CI sidechannel smoke job: the stock RMCC insertion policy leaks the
+// victim's secret through the memo-insert channel at high capacity, and
+// the hardened (randomized-insertion) mode cuts that capacity by well over
+// half. The counter-cache set channel is protection-independent and must
+// be unaffected — hardening fixes the table, not the cache.
+func TestHardenedLeakageSmoke(t *testing.T) {
+	run := func(hardened bool) Report {
+		res, err := RunLeakage(NewPrimeProbe(), LeakageOptions{
+			Mode:     engine.RMCC,
+			Scheme:   counter.Morphable,
+			Hardened: hardened,
+			Seed:     7,
+			Epochs:   32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report
+	}
+	stock := run(false)
+	hard := run(true)
+
+	si, _ := stock.Channel("memo-insert")
+	hi, _ := hard.Channel("memo-insert")
+	if si.Bits < 1.0 {
+		t.Errorf("stock memo-insert MI = %.3f bits, want > 1.0 (the channel exists)", si.Bits)
+	}
+	if si.Accuracy < 0.9 {
+		t.Errorf("stock memo-insert accuracy = %.3f, want > 0.9", si.Accuracy)
+	}
+	if hi.Bits >= 0.5*si.Bits {
+		t.Errorf("hardened memo-insert MI = %.3f bits, want < half of stock (%.3f)",
+			hi.Bits, si.Bits)
+	}
+
+	ss, _ := stock.Channel("ctr-sets")
+	hs, _ := hard.Channel("ctr-sets")
+	if ss.Bits < 1.0 {
+		t.Errorf("ctr-sets MI = %.3f bits, want > 1.0 (cache channel exists)", ss.Bits)
+	}
+	if ss.Bits != hs.Bits {
+		t.Errorf("ctr-sets MI changed under hardening (%.3f vs %.3f): hardening must not touch the cache channel",
+			ss.Bits, hs.Bits)
+	}
+}
+
+// TestMemJamLeakage: the 4K-aliasing adversary leaks through write page
+// offsets under every mode, and never through the memo table (its victim
+// never pushes a counter past the table max) — the contrast FigureLeakage
+// plots.
+func TestMemJamLeakage(t *testing.T) {
+	res, err := RunLeakage(NewMemJam(), LeakageOptions{
+		Mode:   engine.RMCC,
+		Scheme: counter.Morphable,
+		Seed:   7,
+		Epochs: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := res.Report.Channel("pg-offset")
+	if pg.Bits < 1.0 {
+		t.Errorf("pg-offset MI = %.3f bits, want > 1.0", pg.Bits)
+	}
+	mi, _ := res.Report.Channel("memo-insert")
+	if mi.Bits != 0 {
+		t.Errorf("memjam memo-insert MI = %.3f bits, want 0", mi.Bits)
+	}
+}
+
+// TestRunLeakageDeterministic: identical options must produce a
+// byte-identical report (figures and the CI gate depend on it).
+func TestRunLeakageDeterministic(t *testing.T) {
+	opt := LeakageOptions{
+		Mode: engine.RMCC, Scheme: counter.Morphable, Seed: 11, Epochs: 8,
+	}
+	a, err := RunLeakage(NewPrimeProbe(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLeakage(NewPrimeProbe(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same options produced different results:\n%+v\nvs\n%+v", a.Report, b.Report)
+	}
+}
+
+// TestRunLeakageBaselineModes: the driver must also run under the
+// non-memoizing baselines FigureLeakage compares against (no table ⇒ no
+// memo-insert leakage, but the cache channels persist).
+func TestRunLeakageBaselineModes(t *testing.T) {
+	for _, scheme := range []counter.Scheme{counter.SGX, counter.Morphable} {
+		res, err := RunLeakage(NewPrimeProbe(), LeakageOptions{
+			Mode: engine.Baseline, Scheme: scheme, Seed: 7, Epochs: 8,
+		})
+		if err != nil {
+			t.Fatalf("scheme %v: %v", scheme, err)
+		}
+		mi, _ := res.Report.Channel("memo-insert")
+		if mi.Bits != 0 {
+			t.Errorf("scheme %v: baseline memo-insert MI = %.3f, want 0", scheme, mi.Bits)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package sidechan
+
+import (
+	"rmcc/internal/rng"
+	"rmcc/internal/workload"
+)
+
+// MemJam is a MemJam-style 4K-aliasing false-dependency stream. The
+// victim's stores land at a secret-dependent 512-byte-aligned offset
+// o = k·512 within its 4 KiB pages; the attacker streams loads over every
+// candidate offset across many pages. Loads whose page offset matches the
+// victim's (addr ≡ o mod 4096) suffer the false-dependency replay the
+// original attack exploits — modeled here by re-issuing the aliased load,
+// a constant per-epoch count so the epoch length stays class-independent.
+//
+// The secret reaches the trace through address structure, not table
+// dynamics: the victim's writebacks carry their page offset into the
+// counter-cache events, so binning write events by (addr mod 4096)/512
+// recovers k under every protection mode — the pg-offset channel. The
+// memoization table adds nothing here (the victim never pushes a counter
+// past the table max), which is exactly the contrast the leakage figure
+// shows against PrimeProbe. See docs/SIDECHANNEL.md.
+type MemJam struct {
+	vbuf, abuf, conflict, pad uint64
+	footprint                 uint64
+}
+
+// Tunables.
+const (
+	mjClasses = 4
+	mjOffset  = 512  // candidate offset granularity (bank-conflict quantum)
+	mjPage    = 4096 // 4K-aliasing page size
+	mjPages   = 8    // victim pages touched per round
+	mjRounds  = 4    // victim store rounds per epoch
+	mjProbes  = 20   // attacker lines per candidate offset
+	mjPasses  = 2    // attacker passes per epoch
+
+	mjClassSalt = 0x4a11a5ed4a11a5ed
+)
+
+// Derived MC-access accounting (see the PrimeProbe block for the model):
+// every first-touch-per-pass load and every victim access misses the LLC;
+// the 4K-aliasing replay loads are L1 hits and never reach the MC.
+const (
+	mjPassCPU   = mjClasses*mjProbes + mjProbes // probes + replays
+	mjPassMC    = mjClasses * mjProbes
+	mjVictimCPU = mjRounds * mjPages * (1 + evictWays)
+	mjEpochCPU  = mjVictimCPU + mjPasses*mjPassCPU
+	mjEpochMC   = mjVictimCPU + mjRounds*mjPages + mjPasses*mjPassMC
+	// mjWarmPad extends the warmup pass with single-touch clean reads so
+	// warmup spans exactly one table epoch of MC accesses.
+	mjWarmPad = mjEpochMC - mjPassMC
+)
+
+// NewMemJam lays out the victim and attacker buffers.
+func NewMemJam() *MemJam {
+	l := newRegionAlloc()
+	w := &MemJam{}
+	w.vbuf = l.region(mjPages * mjPage)
+	w.abuf = l.region(mjProbes*conflictStride + mjClasses*mjOffset)
+	w.conflict = l.region(evictWays*conflictStride + mjPages*mjPage)
+	w.pad = l.region(mjWarmPad * lineBytes)
+	w.footprint = l.next
+	return w
+}
+
+// Name implements workload.Workload.
+func (w *MemJam) Name() string { return "memjam4k" }
+
+// FootprintBytes implements workload.Workload.
+func (w *MemJam) FootprintBytes() uint64 { return w.footprint }
+
+// Classes implements Adversary.
+func (w *MemJam) Classes() int { return mjClasses }
+
+// WarmupAccesses implements Adversary: one attacker pass settles the
+// caches (replays included, against offset 0, so the count is fixed),
+// plus the pad reads that round warmup up to one full table epoch.
+func (w *MemJam) WarmupAccesses() uint64 {
+	return mjPassCPU + mjWarmPad
+}
+
+// EpochAccesses implements Adversary.
+func (w *MemJam) EpochAccesses() uint64 { return mjEpochCPU }
+
+// EpochMCAccesses implements Adversary.
+func (w *MemJam) EpochMCAccesses() uint64 { return mjEpochMC }
+
+// Schedule implements Adversary.
+func (w *MemJam) Schedule(seed uint64, epochs int) []int {
+	cls := rng.New(seed ^ mjClassSalt)
+	out := make([]int, epochs)
+	for i := range out {
+		out[i] = cls.Intn(mjClasses)
+	}
+	return out
+}
+
+// Run implements workload.Workload.
+func (w *MemJam) Run(seed uint64, sink workload.Sink) {
+	e := &emit{sink: sink}
+	cls := rng.New(seed ^ mjClassSalt)
+
+	w.pass(e, 0) // warmup
+	for i := 0; i < mjWarmPad && !e.stopped; i++ {
+		e.load(w.pad + uint64(i)*lineBytes)
+	}
+
+	for !e.stopped {
+		k := cls.Intn(mjClasses)
+		// Victim: secret-offset stores across its pages, each forced out
+		// to the MC so the writeback (and its page offset) is observable.
+		for r := 0; r < mjRounds && !e.stopped; r++ {
+			for p := 0; p < mjPages && !e.stopped; p++ {
+				off := uint64(p)*mjPage + uint64(k)*mjOffset
+				e.store(w.vbuf + off)
+				w.conflictSweep(e, off)
+			}
+		}
+		for pass := 0; pass < mjPasses && !e.stopped; pass++ {
+			w.pass(e, k)
+		}
+	}
+}
+
+// pass streams the attacker's candidate-offset probes; loads aliasing the
+// victim's current offset k are replayed once (the 4K-aliasing false
+// dependency).
+func (w *MemJam) pass(e *emit, k int) {
+	for c := 0; c < mjClasses; c++ {
+		for m := 0; m < mjProbes; m++ {
+			addr := w.abuf + uint64(c)*mjOffset + uint64(m)*conflictStride
+			if !e.load(addr) {
+				return
+			}
+			if c == k {
+				if !e.load(addr) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// conflictSweep forces the victim's just-stored line back out to the MC:
+// the conflict lines reuse the victim line's sub-128 KiB offset, so they
+// share its set index in every cache level (all set periods divide
+// conflictStride) and out-associate the deepest one.
+func (w *MemJam) conflictSweep(e *emit, off uint64) {
+	for i := 0; i < evictWays; i++ {
+		if !e.load(w.conflict + off + uint64(i)*conflictStride) {
+			return
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package sidechan quantifies what the RMCC memoization machinery leaks
+// about a victim's secret-dependent memory behavior, and evaluates the
+// hardened (randomized-insertion) table mode against it.
+//
+// It has three parts (docs/SIDECHANNEL.md is the companion document):
+//
+//   - Attacker workloads implementing workload.Workload: a prime+probe
+//     sweeper over counter-cache eviction sets with a secret-dependent
+//     victim interleaved (PrimeProbe), and a MemJam-style 4K-aliasing
+//     false-dependency stream (MemJam). Both are deterministic per seed
+//     and registered in the workload registry, so they run everywhere a
+//     paper benchmark runs: rmccsim, rmccd sessions, rmcc-loadgen.
+//
+//   - A leakage Analyzer that taps the obs event tracer (obs.EventSink),
+//     bins per-set hit/miss observables into attacker-epoch histograms,
+//     and estimates each channel's capacity: plug-in mutual information
+//     between the secret class and the epoch observable with Miller–Madow
+//     bias correction, plus a MAP classifier accuracy bound. The tap adds
+//     nothing to the engine hot path: the engine already emits these
+//     events, and the analyzer's OnEvent is allocation-free.
+//
+//   - RunLeakage, the driver gluing them together over a sim.Lifetime.
+//
+// The experiment layer (internal/experiments FigureLeakage /
+// FigureHardenedCost) turns these into report figures comparing SGX
+// baseline vs Morphable vs stock RMCC vs hardened RMCC.
+package sidechan
+
+import (
+	"rmcc/internal/workload"
+)
+
+// Geometry constants tied to the lifetime simulator's fixed hierarchy
+// (sim.DefaultLifetimeConfig) under Morphable counters: 32 KB / 32-way
+// counter cache (16 sets of 64 B counter blocks, each covering 128 data
+// blocks = 8 KB), 2 MB / 16-way LLC (2048 sets), 1 MB / 8-way L2, and
+// 64 KB / 8-way L1. The three cache set periods and the counter-cache set
+// period all divide 128 KB, so one 128 KB-strided conflict set evicts a
+// target line from every level at once — the alignment the prime+probe
+// sweeper exploits. Regions are 2 MiB-aligned (huge pages), so a region
+// offset fully determines every set index.
+const (
+	lineBytes = 64
+	// ctrCoverage is the data bytes one Morphable counter block covers.
+	ctrCoverage = 128 * lineBytes // 8 KiB
+	// ctrSets is the counter-cache set count (32 KB / (64 B × 32 ways)).
+	ctrSets = 16
+	// conflictStride aligns with every set period at once:
+	// ctrSets×ctrCoverage = 128 KiB = LLC period = L2 period (and a
+	// multiple of the L1's 8 KiB period).
+	conflictStride = ctrSets * ctrCoverage // 128 KiB
+	// probeWays out-associates the 32-way counter cache.
+	probeWays = 33
+	// evictWays flushes a just-touched line out of the whole hierarchy
+	// within one conflict sweep. The line cascades L1→L2→LLC, re-entering
+	// each level at MRU, so the sweep needs ~8 (L1) + ~8 (L2) + 16 (LLC)
+	// younger installs after the line's last re-entry, plus margin —
+	// merely out-associating the 16-way LLC is not enough.
+	evictWays = 40
+)
+
+// Adversary is a workload with the epoch structure the leakage driver
+// needs: a fixed-length warmup prefix, then epochs of identical length,
+// each parameterized by a secret class the access pattern depends on.
+type Adversary interface {
+	workload.Workload
+	// Classes is the secret alphabet size K (classes are 0..K-1).
+	Classes() int
+	// WarmupAccesses is the length of the one-time warmup prefix.
+	WarmupAccesses() uint64
+	// EpochAccesses is the exact access count of every epoch.
+	EpochAccesses() uint64
+	// EpochMCAccesses is the exact number of memory-controller accesses
+	// (read misses + writebacks) one epoch generates. The leakage driver
+	// aligns the memo table's maintenance epoch to it, and the warmup
+	// prefix is padded so it spans exactly one such epoch — keeping the
+	// table's per-epoch read statistics in phase with attacker epochs.
+	EpochMCAccesses() uint64
+	// Schedule reproduces the per-epoch secret classes Run(seed) will use.
+	Schedule(seed uint64, epochs int) []int
+}
+
+// region is a tiny 2 MiB-aligned virtual address allocator (the attacker
+// workloads need precise page-offset control, so they do not reuse the
+// paper kernels' layout helper).
+type regionAlloc struct{ next uint64 }
+
+const regionAlign = 2 << 20
+
+func newRegionAlloc() *regionAlloc { return &regionAlloc{next: regionAlign} }
+
+func (l *regionAlloc) region(bytes uint64) uint64 {
+	base := l.next
+	l.next += (bytes + regionAlign - 1) &^ (regionAlign - 1)
+	l.next += regionAlign // guard gap
+	return base
+}
+
+// emit adapts a workload.Sink with stop propagation.
+type emit struct {
+	sink    workload.Sink
+	stopped bool
+}
+
+func (e *emit) access(addr uint64, write bool) bool {
+	if e.stopped {
+		return false
+	}
+	if !e.sink(workload.Access{Addr: addr, Write: write, Gap: 1}) {
+		e.stopped = true
+		return false
+	}
+	return true
+}
+
+func (e *emit) load(addr uint64) bool  { return e.access(addr, false) }
+func (e *emit) store(addr uint64) bool { return e.access(addr, true) }
+
+func init() {
+	// Register the adversaries as first-class workload names so the
+	// service path (rmccd/rmcc-loadgen workload shortcuts) and rmccsim
+	// resolve them like any paper benchmark. Geometry is fixed by the
+	// simulated hierarchy, so Size is ignored; the seed flows in via Run.
+	workload.RegisterExtra("ppSweep", func(workload.Size, uint64) workload.Workload {
+		return NewPrimeProbe()
+	})
+	workload.RegisterExtra("memjam4k", func(workload.Size, uint64) workload.Workload {
+		return NewMemJam()
+	})
+}

@@ -1,0 +1,64 @@
+package workload_test
+
+import (
+	"testing"
+
+	"rmcc/internal/workload"
+
+	_ "rmcc/internal/sidechan" // registers the adversary workloads
+)
+
+// TestNamesOrder: the paper's eleven stay first in figure order; extras
+// (here the sidechannel adversaries) follow in registration order.
+func TestNamesOrder(t *testing.T) {
+	names := workload.Names()
+	paper := workload.PaperNames()
+	if len(names) < len(paper)+2 {
+		t.Fatalf("Names() = %v, want the eleven plus the two adversaries", names)
+	}
+	for i, n := range paper {
+		if names[i] != n {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	rest := names[len(paper):]
+	if rest[0] != "ppSweep" || rest[1] != "memjam4k" {
+		t.Fatalf("extras = %v, want [ppSweep memjam4k ...]", rest)
+	}
+}
+
+// TestSuiteIncludesExtras: Suite appends registered extras after the
+// paper's workloads, and ByName resolves them without graph generation.
+func TestSuiteIncludesExtras(t *testing.T) {
+	ws := workload.Suite(workload.SizeTest, 1)
+	byName := map[string]bool{}
+	for _, w := range ws {
+		byName[w.Name()] = true
+	}
+	for _, n := range []string{"ppSweep", "memjam4k"} {
+		if !byName[n] {
+			t.Errorf("Suite missing extra %q", n)
+		}
+		w, ok := workload.ByName(workload.SizeTest, 1, n)
+		if !ok || w.Name() != n {
+			t.Errorf("ByName(%q) = %v, %v", n, w, ok)
+		}
+	}
+}
+
+// TestRegisterExtraRejections: duplicates and paper-name shadows panic at
+// registration (init-time misuse should fail loudly).
+func TestRegisterExtraRejections(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	build := func(workload.Size, uint64) workload.Workload { return nil }
+	mustPanic("duplicate", func() { workload.RegisterExtra("ppSweep", build) })
+	mustPanic("paper shadow", func() { workload.RegisterExtra("mcf", build) })
+	mustPanic("nil constructor", func() { workload.RegisterExtra("x", nil) })
+}

@@ -123,13 +123,61 @@ func graphScale(s Size) (scale, ef int) {
 	}
 }
 
-// Names lists the paper's workloads in figure order.
-func Names() []string {
+// PaperNames lists the paper's eleven benchmarks in figure order.
+func PaperNames() []string {
 	return []string{
 		"pageRank", "graphColoring", "connectedComp", "degreeCentr",
 		"DFS", "BFS", "triangleCount", "shortestPath",
 		"canneal", "omnetpp", "mcf",
 	}
+}
+
+// Names lists every available workload: the paper's eleven in figure
+// order, then registered extras (e.g. the sidechannel adversaries) in
+// registration order.
+func Names() []string {
+	names := PaperNames()
+	extrasMu.Lock()
+	defer extrasMu.Unlock()
+	for _, e := range extras {
+		names = append(names, e.name)
+	}
+	return names
+}
+
+// extraEntry is one registered non-paper workload constructor.
+type extraEntry struct {
+	name  string
+	build func(Size, uint64) Workload
+}
+
+var (
+	extrasMu sync.Mutex
+	extras   []extraEntry
+)
+
+// RegisterExtra adds a workload constructor under name, making it visible
+// to Names, Suite and ByName (and therefore to every driver that resolves
+// workloads by name: rmccsim, rmccd sessions, rmcc-loadgen shortcuts).
+// Intended for package init functions; panics on a duplicate or paper
+// name. The constructor must be deterministic per (size, seed).
+func RegisterExtra(name string, build func(Size, uint64) Workload) {
+	if build == nil {
+		panic("workload: RegisterExtra with nil constructor")
+	}
+	for _, n := range PaperNames() {
+		if n == name {
+			panic("workload: RegisterExtra shadows paper workload " + name)
+		}
+	}
+	extrasMu.Lock()
+	defer extrasMu.Unlock()
+	for _, e := range extras {
+		if e.name == name {
+			panic("workload: duplicate RegisterExtra " + name)
+		}
+	}
+	extras = append(extras, extraEntry{name: name, build: build})
 }
 
 // graphCache memoizes generated R-MAT graphs per (size, seed): generation
@@ -154,9 +202,9 @@ func sharedGraph(size Size, seed uint64) *graph.CSR {
 	return g
 }
 
-// Suite builds all eleven paper workloads at the given size. The eight
-// graph kernels share one R-MAT graph (like GraphBig running its kernels
-// over one loaded dataset).
+// Suite builds all eleven paper workloads at the given size, followed by
+// any registered extras. The eight graph kernels share one R-MAT graph
+// (like GraphBig running its kernels over one loaded dataset).
 func Suite(size Size, seed uint64) []Workload {
 	g := sharedGraph(size, seed)
 	ws := []Workload{
@@ -172,11 +220,26 @@ func Suite(size Size, seed uint64) []Workload {
 		NewOmnetpp(size),
 		NewMCF(size),
 	}
+	extrasMu.Lock()
+	defer extrasMu.Unlock()
+	for _, e := range extras {
+		ws = append(ws, e.build(size, seed))
+	}
 	return ws
 }
 
-// ByName returns the named workload from a freshly built suite.
+// ByName returns the named workload from a freshly built suite. Registered
+// extras resolve directly (no R-MAT graph generation).
 func ByName(size Size, seed uint64, name string) (Workload, bool) {
+	extrasMu.Lock()
+	for _, e := range extras {
+		if e.name == name {
+			b := e.build
+			extrasMu.Unlock()
+			return b(size, seed), true
+		}
+	}
+	extrasMu.Unlock()
 	for _, w := range Suite(size, seed) {
 		if w.Name() == name {
 			return w, true

@@ -16,12 +16,16 @@ func collect(w Workload, seed uint64, n int) []Access {
 
 func TestSuiteHasAllPaperWorkloads(t *testing.T) {
 	ws := Suite(SizeTest, 1)
-	if len(ws) != 11 {
-		t.Fatalf("suite size = %d, want 11", len(ws))
+	if len(ws) != len(Names()) {
+		t.Fatalf("suite size = %d, want %d (the eleven plus registered extras)",
+			len(ws), len(Names()))
 	}
 	names := map[string]bool{}
-	for _, w := range ws {
+	for i, w := range ws {
 		names[w.Name()] = true
+		if i < len(PaperNames()) && w.Name() != PaperNames()[i] {
+			t.Fatalf("suite[%d] = %q, want paper order %q", i, w.Name(), PaperNames()[i])
+		}
 	}
 	for _, want := range Names() {
 		if !names[want] {
@@ -123,8 +127,15 @@ func TestShardsDiffer(t *testing.T) {
 }
 
 func TestGraphKernelsAreSharded(t *testing.T) {
+	paper := map[string]bool{}
+	for _, n := range PaperNames() {
+		paper[n] = true
+	}
 	count := 0
 	for _, w := range Suite(SizeTest, 1) {
+		if !paper[w.Name()] {
+			continue // extras may shard too (ppSweep does)
+		}
 		if _, ok := w.(Sharded); ok {
 			count++
 		}
@@ -160,7 +171,14 @@ func TestFootprintsExceedLLCAtFullSize(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-size suite construction is slow")
 	}
+	paper := map[string]bool{}
+	for _, n := range PaperNames() {
+		paper[n] = true
+	}
 	for _, w := range Suite(SizeFull, 1) {
+		if !paper[w.Name()] {
+			continue // extras (sidechannel adversaries) fix their own geometry
+		}
 		if w.FootprintBytes() < 32<<20 {
 			t.Errorf("%s footprint %d MiB too small for the paper's regime",
 				w.Name(), w.FootprintBytes()>>20)

@@ -153,12 +153,15 @@ func RunDetailed(w Workload, cfg DetailedConfig) DetailedResult {
 	return sim.RunDetailed(w, cfg)
 }
 
-// Workloads builds the paper's eleven benchmarks at the given scale.
+// Workloads builds every available workload at the given scale: the
+// paper's eleven benchmarks followed by registered extras (the sidechannel
+// adversaries ppSweep and memjam4k).
 func Workloads(size Size, seed uint64) []Workload {
 	return workload.Suite(size, seed)
 }
 
-// WorkloadNames lists the eleven benchmarks in the paper's figure order.
+// WorkloadNames lists every workload name: the eleven benchmarks in the
+// paper's figure order, then registered extras.
 func WorkloadNames() []string { return workload.Names() }
 
 // WorkloadByName returns one benchmark from a fresh suite.
@@ -262,5 +265,7 @@ func Experiments() []struct {
 		{"convergence", experiments.Convergence},
 		{"ablation", experiments.Ablation},
 		{"speculation", experiments.ExtensionSpeculation},
+		{"leakage", experiments.FigureLeakage},
+		{"hardenedCost", experiments.FigureHardenedCost},
 	}
 }
