@@ -427,6 +427,24 @@ func microBenchmarks() []jsonMicro {
 				}
 			}
 		}},
+		// The flight-recorder hot path: one finished span into the crash
+		// ring per op. The benchdiff alloc gate holds this at zero — the
+		// recorder rides every request span, so a regression here taxes
+		// the whole service.
+		{"flight_record", func(b *testing.B) {
+			fr := obs.NewFlightRecorder(1<<20, "bench")
+			span := obs.SpanRecord{
+				ID: 1, Parent: 0, TraceHi: 0xaaaa, TraceLo: 0xbbbb,
+				Name: "engine-step", Detail: "s-0123456789abcdef",
+				Start: 1234, Duration: 5678,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				span.ID = uint64(i)
+				fr.RecordSpan(span)
+			}
+		}},
 		{"memo_lookup", func(b *testing.B) {
 			unit := otp.MustNewUnit(otp.DeriveKeys([16]byte{1}, 16))
 			cfg := core.DefaultConfig()

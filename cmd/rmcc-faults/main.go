@@ -20,6 +20,7 @@ import (
 
 	"rmcc"
 	"rmcc/internal/buildinfo"
+	"rmcc/internal/obs"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		accesses  = flag.Uint64("accesses", 300_000, "workload accesses to replay")
 		seed      = flag.Uint64("seed", 7, "campaign seed (schedule + targets)")
 		listKinds = flag.Bool("list-kinds", false, "list fault kinds and exit")
+		flightOut = flag.String("flight-out", "", "write a flight-recorder dump of the campaign's engine events to this file (rmcc-top -flight renders it)")
 		verbose   = flag.Bool("v", false, "print every fault outcome")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
@@ -79,6 +81,18 @@ func main() {
 	lifeCfg.MaxAccesses = *accesses
 	lifeCfg.Seed = *seed
 
+	// -flight-out tees every engine event (fault injections included) into
+	// a flight-recorder ring and dumps it after the campaign — the same
+	// postmortem format a crashed rmccd leaves behind, here as a durable
+	// record of what the injector did and when.
+	var flight *obs.FlightRecorder
+	if *flightOut != "" {
+		flight = obs.NewFlightRecorder(1<<20, "rmcc-faults")
+		tracer := obs.NewTracer(0)
+		tracer.SetSink(flight)
+		lifeCfg.Tracer = tracer
+	}
+
 	campaign := &rmcc.FaultCampaign{
 		Workload: w,
 		Lifetime: lifeCfg,
@@ -87,6 +101,12 @@ func main() {
 	res, err := campaign.Run()
 	if err != nil {
 		fatal(err)
+	}
+	if flight != nil {
+		if err := flight.DumpToFile(*flightOut); err != nil {
+			fatal(fmt.Errorf("write flight dump: %w", err))
+		}
+		fmt.Printf("flight dump: %s (%d records)\n", *flightOut, flight.Records())
 	}
 
 	fmt.Printf("campaign: workload=%s scheme=%v recovery=%v seed=%d accesses=%d\n",

@@ -70,6 +70,7 @@ func main() {
 		keep       = flag.Bool("keep", false, "leave the sessions on the daemon instead of deleting them")
 		timeout    = flag.Duration("timeout", 5*time.Minute, "overall deadline")
 		metricsOut = flag.String("metrics-out", "", "scrape /metrics after the run to this file (- for stdout), with client-side latency quantiles appended")
+		traceIDs   = flag.String("trace-ids-out", "", "write one \"session trace-id\" line per session to this file (- for stdout)")
 		logLevel   = flag.String("log-level", "warn", "minimum log level: debug|info|warn|error")
 		logFormat  = flag.String("log-format", "text", "log line encoding: text|json")
 		version    = flag.Bool("version", false, "print version and exit")
@@ -272,6 +273,13 @@ func main() {
 			defer wg.Done()
 			r := result{idx: i, durs: make([]float64, 0, *replays)}
 			defer func() { results[i] = r }()
+			// One trace context per session: the create, every replay, and
+			// the delete share one 128-bit trace ID, so a replay that a
+			// drain migrates mid-run still reads as a single cross-node
+			// trace in /debug/tracez.
+			tc := obs.MintTraceContext()
+			r.trace = tc.TraceID()
+			c := c.WithTraceContext(tc)
 			var onp func(uint64)
 			if mkProgress != nil {
 				onp = mkProgress()
@@ -352,6 +360,23 @@ func main() {
 	wg.Wait()
 	wall := time.Since(start).Seconds()
 
+	// Written before the crash branch on purpose: the recovery smoke needs
+	// the session→trace mapping to interrogate flight dumps and tracez
+	// after the daemon it killed comes back.
+	if *traceIDs != "" {
+		var sb strings.Builder
+		for _, r := range results {
+			if r.id != "" && r.trace != "" {
+				fmt.Fprintf(&sb, "%s %s\n", r.id, r.trace)
+			}
+		}
+		if *traceIDs == "-" {
+			fmt.Print(sb.String())
+		} else if err := os.WriteFile(*traceIDs, []byte(sb.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *crashAfter > 0 {
 		// Replay/delete errors after the kill are the point, not failures.
 		if crashKilled.Load() {
@@ -386,6 +411,7 @@ func main() {
 		p50, p95, p99 := quantiles(allDurs)
 		fmt.Printf("replay latency (%d samples): p50 %s  p95 %s  p99 %s\n",
 			len(allDurs), fmtDur(p50), fmtDur(p95), fmtDur(p99))
+		printSlowestTraces(results, p99)
 	}
 	if failed > 0 {
 		fatal(fmt.Errorf("%d of %d sessions failed", failed, *sessions))
@@ -449,10 +475,12 @@ func main() {
 }
 
 // result accumulates one session's outcome; durs holds one
-// client-observed latency sample per replay request, in seconds.
+// client-observed latency sample per replay request, in seconds, and
+// trace is the session's minted 32-hex distributed trace ID.
 type result struct {
 	idx   int
 	id    string
+	trace string
 	stats server.ReplayStats
 	secs  float64
 	durs  []float64
@@ -473,6 +501,36 @@ func quantiles(durs []float64) (p50, p95, p99 float64) {
 
 func fmtDur(secs float64) string {
 	return time.Duration(secs * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// printSlowestTraces names the replay samples at or beyond the aggregate
+// p99 (capped at 5, slowest first) with their trace IDs — the IDs to
+// paste into /debug/tracez?trace= to see where a tail request's time
+// went, hop by hop.
+func printSlowestTraces(results []result, p99 float64) {
+	type sample struct {
+		secs    float64
+		session string
+		trace   string
+	}
+	var slow []sample
+	for _, r := range results {
+		if r.err != nil || r.trace == "" {
+			continue
+		}
+		for _, d := range r.durs {
+			if d >= p99 {
+				slow = append(slow, sample{secs: d, session: r.id, trace: r.trace})
+			}
+		}
+	}
+	sort.Slice(slow, func(i, j int) bool { return slow[i].secs > slow[j].secs })
+	if len(slow) > 5 {
+		slow = slow[:5]
+	}
+	for _, s := range slow {
+		fmt.Printf("slow replay: %s  session %s  trace %s\n", fmtDur(s.secs), s.session, s.trace)
+	}
 }
 
 // latencyMetrics renders the client-observed replay latency quantiles in

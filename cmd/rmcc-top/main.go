@@ -14,6 +14,8 @@
 //	rmcc-top -addr http://127.0.0.1:8077
 //	rmcc-top -addr http://$ADDR -interval 500ms
 //	rmcc-top -once          # single snapshot, no screen clearing (CI, pipes)
+//	rmcc-top -addr http://$ROUTER -trace 4bf92f3577b34da6a3ce929d0e0e4736  # one trace, cluster-wide
+//	rmcc-top -flight /var/lib/rmcc/flight.rec   # decode a crashed node's flight dump
 package main
 
 import (
@@ -36,6 +38,8 @@ func main() {
 		addr     = flag.String("addr", "http://127.0.0.1:8077", "rmccd base URL (scheme optional)")
 		interval = flag.Duration("interval", 2*time.Second, "poll/refresh interval")
 		once     = flag.Bool("once", false, "render a single snapshot and exit (no screen clearing)")
+		traceID  = flag.String("trace", "", "render the /debug/tracez tree for this 32-hex trace ID and exit (cluster-wide via rmcc-router)")
+		flight   = flag.String("flight", "", "decode a flight-recorder dump file (- for stdin) and exit; no daemon needed")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-poll request deadline")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
@@ -44,11 +48,25 @@ func main() {
 		fmt.Println(buildinfo.String("rmcc-top"))
 		return
 	}
+	if *flight != "" {
+		if err := runFlight(*flight); err != nil {
+			fmt.Fprintln(os.Stderr, "rmcc-top:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	base := *addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	c := client.New(base)
+	if *traceID != "" {
+		if err := runTrace(c, *traceID, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "rmcc-top:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	for {
 		frame, err := snapshot(c, *timeout)

@@ -10,6 +10,7 @@
 //	rmccd -shards 8 -idle-ttl 5m -drain 10s
 //	rmccd -log-level debug -log-format json
 //	rmccd -debug-addr 127.0.0.1:8078                     # /statusz, /debug/pprof, /debug/tracez
+//	rmccd -snapshot-dir /var/lib/rmcc -flight-every 1s   # crash recovery + durable flight dumps
 //
 // Operational logs are structured (text or JSON, -log-format) and leveled
 // (-log-level); every session-scoped line carries session/shard/workload/
@@ -30,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -44,21 +46,26 @@ func main() {
 
 func run() int {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8077", "listen address (host:0 picks an ephemeral port)")
-		portFile  = flag.String("port-file", "", "write the resolved listen address to this file (for scripts wrapping host:0)")
-		shards    = flag.Int("shards", 0, "session shard workers (default GOMAXPROCS)")
-		queue     = flag.Int("queue", 0, "per-shard job queue depth (default 64)")
-		idleTTL   = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (<0 disables)")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight replays")
-		chunk     = flag.Int("chunk", 0, "replay chunk size in accesses (default 4096)")
-		snapDir   = flag.String("snapshot-dir", "", "durable session checkpoints live here; enables crash recovery (off when empty)")
-		snapEvery = flag.Duration("snapshot-every", 30*time.Second, "periodic checkpoint interval (with -snapshot-dir)")
-		logLevel  = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
-		logFormat = flag.String("log-format", "text", "log line encoding: text|json")
-		debugAddr = flag.String("debug-addr", "", "serve /statusz, /debug/tracez and /debug/pprof on this extra listener (off when empty)")
-		debugPort = flag.String("debug-port-file", "", "write the resolved debug listen address to this file")
-		quiet     = flag.Bool("quiet", false, "deprecated: same as -log-level error")
-		version   = flag.Bool("version", false, "print version and exit")
+		addr        = flag.String("addr", "127.0.0.1:8077", "listen address (host:0 picks an ephemeral port)")
+		portFile    = flag.String("port-file", "", "write the resolved listen address to this file (for scripts wrapping host:0)")
+		shards      = flag.Int("shards", 0, "session shard workers (default GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "per-shard job queue depth (default 64)")
+		idleTTL     = flag.Duration("idle-ttl", 10*time.Minute, "evict sessions idle this long (<0 disables)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight replays")
+		chunk       = flag.Int("chunk", 0, "replay chunk size in accesses (default 4096)")
+		snapDir     = flag.String("snapshot-dir", "", "durable session checkpoints live here; enables crash recovery (off when empty)")
+		snapEvery   = flag.Duration("snapshot-every", 30*time.Second, "periodic checkpoint interval (with -snapshot-dir)")
+		nodeID      = flag.String("node-id", "", "node name stamped on spans and flight dumps (default: resolved listen address)")
+		spanRing    = flag.Int("span-ring", 0, "retained-span ring size behind /debug/tracez (default 4096)")
+		flightFile  = flag.String("flight-file", "", "crash-durable flight-recorder dump path (default <snapshot-dir>/flight.rec; off when both empty)")
+		flightEvery = flag.Duration("flight-every", 2*time.Second, "periodic flight-recorder flush interval (with -flight-file)")
+		flightCap   = flag.Int("flight-cap", 1<<20, "flight-recorder ring capacity in bytes")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
+		logFormat   = flag.String("log-format", "text", "log line encoding: text|json")
+		debugAddr   = flag.String("debug-addr", "", "serve /statusz, /debug/tracez and /debug/pprof on this extra listener (off when empty)")
+		debugPort   = flag.String("debug-port-file", "", "write the resolved debug listen address to this file")
+		quiet       = flag.Bool("quiet", false, "deprecated: same as -log-level error")
+		version     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -87,6 +94,7 @@ func run() int {
 		QueueDepth:    *queue,
 		IdleTTL:       *idleTTL,
 		ChunkAccesses: *chunk,
+		SpanRing:      *spanRing,
 		Logger:        log,
 		SnapshotDir:   *snapDir,
 		SnapshotEvery: *snapEvery,
@@ -103,6 +111,31 @@ func run() int {
 			log.Error("write port file failed", "path", *portFile, "error", err)
 			return 2
 		}
+	}
+
+	cfg.NodeID = *nodeID
+	if cfg.NodeID == "" {
+		cfg.NodeID = resolved
+	}
+
+	// The flight recorder runs whenever it has capacity: finished spans,
+	// sampled events, and warn+ log lines land in its ring at zero
+	// steady-state allocations, and /debug/flightz?dump=1 serves it live.
+	// With a dump path (explicit, or implied by -snapshot-dir) a flusher
+	// goroutine persists the ring durably every -flight-every, so even a
+	// SIGKILL'd process leaves a recent postmortem file behind.
+	var flight *obs.FlightRecorder
+	if *flightCap > 0 {
+		flight = obs.NewFlightRecorder(*flightCap, cfg.NodeID)
+		cfg.Flight = flight
+		log.AttachFlight(flight)
+	}
+	ffile := *flightFile
+	if ffile == "" && *snapDir != "" {
+		ffile = filepath.Join(*snapDir, "flight.rec")
+	}
+	if flight == nil {
+		ffile = ""
 	}
 
 	srv := server.New(cfg)
@@ -133,6 +166,33 @@ func run() int {
 			}
 		}()
 		log.Info("debug endpoints up", "addr", debugResolved)
+	}
+
+	var flightStop, flightDone chan struct{}
+	if ffile != "" {
+		if err := flight.DumpToFile(ffile); err != nil {
+			log.Error("flight dump failed", "path", ffile, "error", err)
+			srv.Close()
+			return 2
+		}
+		flightStop = make(chan struct{})
+		flightDone = make(chan struct{})
+		go func() {
+			defer close(flightDone)
+			t := time.NewTicker(*flightEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := flight.DumpToFile(ffile); err != nil {
+						log.Warn("flight flush failed", "path", ffile, "error", err)
+					}
+				case <-flightStop:
+					return
+				}
+			}
+		}()
+		log.Info("flight recorder on", "path", ffile, "cap_bytes", *flightCap, "every", *flightEvery)
 	}
 
 	errCh := make(chan error, 1)
@@ -171,6 +231,16 @@ func run() int {
 	if *snapDir != "" {
 		n := srv.CheckpointAll(context.Background())
 		log.Info("final checkpoint", "sessions", n)
+	}
+	if flightDone != nil {
+		close(flightStop)
+		<-flightDone
+		// One last flush so the dump covers the drain itself.
+		if err := flight.DumpToFile(ffile); err != nil {
+			log.Warn("final flight flush failed", "path", ffile, "error", err)
+		} else {
+			log.Info("flight recorder flushed", "path", ffile, "records", flight.Records())
+		}
 	}
 	srv.Close()
 	if clean {

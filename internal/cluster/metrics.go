@@ -20,6 +20,8 @@ import (
 //	rmcc_router_migrations_total{status}          — drain migrations
 //	rmcc_router_migration_duration_us             — per-session move time
 //	rmcc_router_migration_bytes                   — snapshot blob sizes
+//	rmcc_router_spans_total                       — router spans completed
+//	rmcc_router_spans_dropped_total               — span-ring overwrites
 //
 // The request series are registered lazily by instrument(); everything
 // else lives here. rmcc-top's cluster view renders the node gauges.
@@ -35,6 +37,11 @@ func (rt *Router) initMetrics() {
 		"encoded checkpoint size per migrated session", obs.Pow2Buckets(10, 32))
 	rt.mProxyErrors = rt.reg.Counter("rmcc_router_proxy_errors_total",
 		"proxied requests that failed to reach their node")
+	rt.reg.CounterFunc("rmcc_router_spans_total", "router spans completed",
+		func() uint64 { return rt.spans.Total() })
+	rt.reg.CounterFunc("rmcc_router_spans_dropped_total",
+		"router spans overwritten in the ring before any export read them",
+		func() uint64 { return rt.spans.Dropped() })
 
 	rt.mHealthOK = make(map[string]*obs.Counter, len(rt.nodeList))
 	rt.mHealthFail = make(map[string]*obs.Counter, len(rt.nodeList))

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"rmcc/internal/obs"
 	"rmcc/internal/server"
 	"rmcc/internal/server/client"
 )
@@ -25,7 +26,7 @@ import (
 // node reports empty: a create that sampled the ring just before the
 // drain flipped it can still land a session on src after the first
 // listing, and a single pass would strand it there.
-func (rt *Router) drainNode(ctx context.Context, src *node) server.DrainResult {
+func (rt *Router) drainNode(ctx context.Context, src *node, tc obs.TraceContext) server.DrainResult {
 	start := time.Now()
 	res := server.DrainResult{Node: src.id}
 	seen := make(map[string]bool)
@@ -59,7 +60,7 @@ func (rt *Router) drainNode(ctx context.Context, src *node) server.DrainResult {
 			go func(id string) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				err := rt.migrateSession(ctx, id, src)
+				err := rt.migrateSession(ctx, id, src, tc)
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -84,8 +85,11 @@ func (rt *Router) drainNode(ctx context.Context, src *node) server.DrainResult {
 // migrateSession moves one session from src to its current ring owner:
 // gate-write-lock, snapshot download, restore on the target, delete at
 // the source, repoint. Idempotent for sessions that already moved or
-// vanished (evicted, deleted) since the drain listing.
-func (rt *Router) migrateSession(ctx context.Context, id string, src *node) error {
+// vanished (evicted, deleted) since the drain listing. The drain trace
+// threads through every hop: the migrate span parents the
+// snapshot-download and restore spans, and the node API calls carry the
+// rebased context so both nodes record their side under the same trace.
+func (rt *Router) migrateSession(ctx context.Context, id string, src *node, tc obs.TraceContext) error {
 	v, _ := rt.entries.LoadOrStore(id, &entry{})
 	e := v.(*entry)
 	// Taking the write lock waits out every in-flight request on this
@@ -101,8 +105,11 @@ func (rt *Router) migrateSession(ctx context.Context, id string, src *node) erro
 	}
 	target := rt.nodes[owner]
 	start := time.Now()
+	msp := rt.spans.StartT("migrate", id, tc.SpanID, tc)
+	defer msp.End()
+	tc.SpanID = msp.ID()
 
-	blob, err := rt.snapshotWithRetry(ctx, src, id)
+	blob, err := rt.snapshotWithRetry(ctx, src, id, tc)
 	if err != nil {
 		var ae *client.APIError
 		if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
@@ -115,27 +122,33 @@ func (rt *Router) migrateSession(ctx context.Context, id string, src *node) erro
 		return fmt.Errorf("snapshot on %s: %w", src.id, err)
 	}
 
-	if _, err := target.api.RestoreSession(ctx, blob); err != nil {
+	rsp := rt.spans.StartT("restore", id, tc.SpanID, tc)
+	rtc := tc
+	rtc.SpanID = rsp.ID()
+	api := target.api.WithTraceContext(rtc)
+	if _, err := api.RestoreSession(ctx, blob); err != nil {
 		var ae *client.APIError
 		// Restore-conflict semantics: a stale copy on the target (a crash
 		// between restore and source-delete in an earlier attempt) loses
 		// to the fresh snapshot — replace it once.
 		if errors.As(err, &ae) && ae.Status == http.StatusConflict {
-			if derr := target.api.DeleteSession(ctx, id); derr == nil {
-				_, err = target.api.RestoreSession(ctx, blob)
+			if derr := api.DeleteSession(ctx, id); derr == nil {
+				_, err = api.RestoreSession(ctx, blob)
 			}
 		}
 		if err != nil {
+			rsp.End()
 			rt.mMigrationsFail.Inc()
 			return fmt.Errorf("restore on %s: %w", target.id, err)
 		}
 	}
+	rsp.End()
 
 	// The target owns the state now; the source copy must go so it can
 	// never serve (and then lose) a stray write. Best-effort: we hold the
 	// gate, so nothing routed can touch the source copy, and the node's
 	// TTL janitor reaps it if the delete fails.
-	if err := src.api.DeleteSession(ctx, id); err != nil {
+	if err := src.api.WithTraceContext(tc).DeleteSession(ctx, id); err != nil {
 		rt.log.Warn("migrate: source delete failed",
 			"session", id, "node", src.id, "error", err)
 	}
@@ -144,7 +157,7 @@ func (rt *Router) migrateSession(ctx context.Context, id string, src *node) erro
 	rt.mMigrationsOK.Inc()
 	rt.mMigrationUS.Observe(uint64(time.Since(start).Microseconds()))
 	rt.mMigrationBytes.Observe(uint64(len(blob)))
-	rt.log.Info("session migrated", "session", id,
+	rt.log.Info("session migrated", "session", id, "trace", tc.TraceID(),
 		"from", src.id, "to", target.id, "bytes", len(blob))
 	return nil
 }
@@ -152,9 +165,13 @@ func (rt *Router) migrateSession(ctx context.Context, id string, src *node) erro
 // snapshotWithRetry downloads a session checkpoint, waiting out
 // transient 409s (the node's periodic checkpointer briefly holds the
 // replay lease; with the gate write-locked nothing else can).
-func (rt *Router) snapshotWithRetry(ctx context.Context, src *node, id string) ([]byte, error) {
+func (rt *Router) snapshotWithRetry(ctx context.Context, src *node, id string, tc obs.TraceContext) ([]byte, error) {
+	ssp := rt.spans.StartT("snapshot-download", id, tc.SpanID, tc)
+	defer ssp.End()
+	tc.SpanID = ssp.ID()
+	api := src.api.WithTraceContext(tc)
 	for attempt := 0; ; attempt++ {
-		blob, err := src.api.CheckpointDownload(ctx, id)
+		blob, err := api.CheckpointDownload(ctx, id)
 		if err == nil {
 			return blob, nil
 		}

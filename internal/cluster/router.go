@@ -53,6 +53,9 @@ type Config struct {
 	// caps a restore blob (default 256 MiB).
 	MaxBodyBytes     int64
 	MaxSnapshotBytes int64
+	// SpanRing caps the router's retained-span ring behind /debug/tracez
+	// (default 4096).
+	SpanRing int
 
 	// Logger receives structured operational logs (nil disables).
 	Logger *obs.Logger
@@ -87,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSnapshotBytes <= 0 {
 		c.MaxSnapshotBytes = 256 << 20
+	}
+	if c.SpanRing <= 0 {
+		c.SpanRing = 4096
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -145,6 +151,7 @@ type Router struct {
 	cfg     Config
 	log     *obs.Logger
 	reg     *obs.Registry
+	spans   *obs.SpanTracer
 	mux     *http.ServeMux
 	started time.Time
 
@@ -186,6 +193,7 @@ func New(cfg Config) (*Router, error) {
 		cfg:        cfg,
 		log:        cfg.Logger,
 		reg:        obs.NewRegistry(),
+		spans:      obs.NewSpanTracer(cfg.SpanRing),
 		started:    cfg.Now(),
 		nodes:      make(map[string]*node),
 		healthStop: make(chan struct{}),
@@ -306,6 +314,7 @@ func (rt *Router) initRoutes() {
 	rt.mux.HandleFunc("GET /healthz", rt.instrument("healthz", rt.handleHealthz))
 	rt.mux.HandleFunc("GET /metrics", rt.instrument("metrics", rt.handleMetrics))
 	rt.mux.HandleFunc("GET /statusz", rt.instrument("statusz", rt.handleStatusz))
+	rt.mux.HandleFunc("GET /debug/tracez", rt.instrument("tracez", rt.handleTracez))
 }
 
 // --- hot path ---
@@ -404,7 +413,7 @@ func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		n := rt.nodes[owner]
-		info, err := n.api.CreateSessionRaw(r.Context(), id, body)
+		info, err := n.api.WithTraceContext(reqTrace(r.Context())).CreateSessionRaw(r.Context(), id, body)
 		if err != nil {
 			rt.entries.Delete(id)
 			e.mu.Unlock()
@@ -459,7 +468,7 @@ func (rt *Router) handleRestore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := rt.nodes[owner]
-	info, err := n.api.RestoreSession(r.Context(), data)
+	info, err := n.api.WithTraceContext(reqTrace(r.Context())).RestoreSession(r.Context(), data)
 	if err != nil {
 		var ae *client.APIError
 		if errors.As(err, &ae) {
@@ -572,18 +581,31 @@ func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.mu.Unlock()
-	rt.log.Info("drain started", "node", n.id)
+
+	// The drain trace: adopt the caller's (so an operator-traced drain
+	// shows up under their trace), or mint one so the migration hops are
+	// connected even for an untraced request. Every migrate /
+	// snapshot-download / restore span parents under it, across nodes.
+	tc := reqTrace(r.Context())
+	if !tc.Valid() {
+		tc = obs.MintTraceContext()
+		tc.SpanID = 0 // the drain span below is the trace root
+	}
+	dsp := rt.spans.StartT("drain", n.id, tc.SpanID, tc)
+	tc.SpanID = dsp.ID()
+	rt.log.Info("drain started", "node", n.id, "trace", tc.TraceID())
 
 	// A drain must run to completion once started (a half-migrated node
 	// strands sessions), so it survives the triggering request dying.
-	res := rt.drainNode(context.WithoutCancel(r.Context()), n)
+	res := rt.drainNode(context.WithoutCancel(r.Context()), n, tc)
+	dsp.End()
 
 	rt.mu.Lock()
 	if res.Failed == 0 {
 		n.mode = nodeDrained
 	}
 	rt.mu.Unlock()
-	rt.log.Info("drain finished", "node", n.id,
+	rt.log.Info("drain finished", "node", n.id, "trace", tc.TraceID(),
 		"sessions", res.Sessions, "migrated", res.Migrated, "failed", res.Failed)
 	code := http.StatusOK
 	if res.Failed > 0 {
@@ -686,8 +708,24 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// traceCtxKey carries the request's trace context, rebased onto the
+// router's request span, so handlers that re-issue node API calls
+// (create, restore, drain) can propagate it downstream.
+type traceCtxKey struct{}
+
+// reqTrace returns the request's trace context (zero when untraced or
+// when the handler runs uninstrumented, e.g. direct calls in tests).
+func reqTrace(ctx context.Context) obs.TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(obs.TraceContext)
+	return tc
+}
+
 // instrument wraps a handler with the router's per-endpoint SLO
-// accounting (latency histogram + outcome-class counters).
+// accounting (latency histogram + outcome-class counters) and the
+// distributed-trace hop: a malformed X-Rmcc-Trace is a 400 before any
+// routing work, a valid one parents a router span and is re-issued on
+// the (possibly proxied) outbound request with the router's span ID as
+// the new parent.
 func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	hist := rt.reg.Histogram("rmcc_router_request_duration_us",
 		"router request latency in microseconds, by endpoint",
@@ -698,7 +736,27 @@ func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 			"router requests served, by endpoint and status class",
 			obs.L("class", class), obs.L("endpoint", endpoint))
 	}
+	traced := endpoint != "healthz" && endpoint != "metrics" &&
+		endpoint != "statusz" && endpoint != "tracez"
 	return func(w http.ResponseWriter, r *http.Request) {
+		tc, err := parseTraceHeader(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			classes["4xx"].Inc()
+			return
+		}
+		var span obs.Span
+		if traced {
+			span = rt.spans.StartRemote("router."+endpoint, r.URL.Path, tc)
+			// Downstream sees the trace rebased onto the router span: the
+			// proxy forwards inbound headers, so rewriting this one makes
+			// the router hop the node-side parent.
+			tc.SpanID = span.ID()
+			r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, tc))
+			if tc.Valid() {
+				r.Header.Set(obs.TraceHeader, tc.String())
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
@@ -711,5 +769,22 @@ func (rt *Router) instrument(endpoint string, h http.HandlerFunc) http.HandlerFu
 			class = "4xx"
 		}
 		classes[class].Inc()
+		if traced {
+			span.End()
+		}
 	}
+}
+
+// parseTraceHeader extracts the request's X-Rmcc-Trace context, rejecting
+// oversized values on length alone (mirrors the node-side check).
+func parseTraceHeader(r *http.Request) (obs.TraceContext, error) {
+	v := r.Header.Get(obs.TraceHeader)
+	if len(v) > obs.TraceHeaderLen {
+		return obs.TraceContext{}, fmt.Errorf("%s header too long (%d bytes)", obs.TraceHeader, len(v))
+	}
+	tc, err := obs.ParseTraceContext(v)
+	if err != nil {
+		return obs.TraceContext{}, fmt.Errorf("%s: %v", obs.TraceHeader, err)
+	}
+	return tc, nil
 }

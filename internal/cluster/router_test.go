@@ -55,7 +55,7 @@ func newTestCluster(t *testing.T, nNodes int, ccfg cluster.Config) *testCluster 
 	t.Helper()
 	tc := &testCluster{}
 	for i := 0; i < nNodes; i++ {
-		tn := &testNode{srv: server.New(server.Config{})}
+		tn := &testNode{srv: server.New(server.Config{NodeID: fmt.Sprintf("node-%d", i)})}
 		tn.hs = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if tn.broken.Load() {
 				http.Error(w, "injected failure", http.StatusInternalServerError)

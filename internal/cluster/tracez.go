@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"rmcc/internal/obs"
+	"rmcc/internal/server"
+)
+
+// routerNode is the node stamp on the router's own tracez rows. Span IDs
+// are per-process ordinals, so the stamp is what keeps merged rows
+// attributable (and router/node ID collisions harmless).
+const routerNode = "router"
+
+// handleTracez is the cluster-wide trace surface. Without ?trace= it is
+// the router's own slowest-spans view; with ?trace=<32-hex id> it fans
+// the lookup out to every node, merges their rows with the router's, and
+// returns one deterministic tree: rows sorted by (start, node, span ID),
+// each stamped with the process that recorded it. An unreachable node
+// degrades the view (its slice is missing), never the request.
+func (rt *Router) handleTracez(w http.ResponseWriter, r *http.Request) {
+	trace := r.URL.Query().Get("trace")
+	if trace == "" {
+		n := 25
+		if raw := r.URL.Query().Get("n"); raw != "" {
+			v, err := strconv.Atoi(raw)
+			if err != nil || v <= 0 || v > 10_000 {
+				writeError(w, http.StatusBadRequest, "n must be in [1, 10000]")
+				return
+			}
+			n = v
+		}
+		slow := rt.spans.Slowest(n)
+		resp := server.TracezResponse{
+			Node:         routerNode,
+			TotalSpans:   rt.spans.Total(),
+			Retained:     rt.spans.Len(),
+			SpansDropped: rt.spans.Dropped(),
+			Slowest:      make([]server.TracezSpan, 0, len(slow)),
+		}
+		for _, sp := range slow {
+			resp.Slowest = append(resp.Slowest, server.TracezSpanOf(sp, routerNode))
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	hi, lo, err := obs.ParseTraceID(trace)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	local := rt.spans.SpansForTrace(hi, lo)
+	spans := make([]server.TracezSpan, 0, len(local)+16)
+	for _, sp := range local {
+		spans = append(spans, server.TracezSpanOf(sp, routerNode))
+	}
+
+	type result struct {
+		node *node
+		resp server.TracezResponse
+		err  error
+	}
+	results := make([]result, len(rt.nodeList))
+	var wg sync.WaitGroup
+	for i, n := range rt.nodeList {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			resp, err := n.api.Tracez(r.Context(), trace, 0)
+			results[i] = result{node: n, resp: resp, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+	dropped := rt.spans.Dropped()
+	for _, res := range results {
+		if res.err != nil {
+			rt.log.Warn("tracez: node unreachable", "node", res.node.id, "error", res.err)
+			continue
+		}
+		dropped += res.resp.SpansDropped
+		spans = append(spans, res.resp.Spans...)
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.StartNS != b.StartNS {
+			return a.StartNS < b.StartNS
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.ID < b.ID
+	})
+	writeJSON(w, http.StatusOK, server.TracezResponse{
+		Node:         routerNode,
+		TotalSpans:   rt.spans.Total(),
+		Retained:     rt.spans.Len(),
+		SpansDropped: dropped,
+		Trace:        trace,
+		Spans:        spans,
+	})
+}

@@ -93,6 +93,7 @@ type logSink struct {
 	format LogFormat
 	now    func() time.Time
 	lines  atomic.Uint64
+	flight *FlightRecorder
 }
 
 // logField is one pre-stringified key/value pair. raw values (numbers,
@@ -129,6 +130,16 @@ func (l *Logger) WithClock(now func() time.Time) *Logger {
 		l.sink.now = now
 	}
 	return l
+}
+
+// AttachFlight tees every warn+ line the logger family emits into the
+// flight recorder's crash ring (the rendered line, sans newline).
+// Configuration-time only; applies to the whole family, children
+// included. Nil-safe.
+func (l *Logger) AttachFlight(fr *FlightRecorder) {
+	if l != nil {
+		l.sink.flight = fr
+	}
 }
 
 // Lines returns how many lines the logger family has emitted (0 on nil).
@@ -181,7 +192,8 @@ func (l *Logger) log(level LogLevel, msg string, kvs []any) {
 	}
 	fs := appendFields(nil, kvs)
 	buf := make([]byte, 0, 256)
-	ts := l.sink.now().UTC().Format(time.RFC3339Nano)
+	now := l.sink.now()
+	ts := now.UTC().Format(time.RFC3339Nano)
 	switch l.sink.format {
 	case LogJSON:
 		buf = append(buf, `{"ts":`...)
@@ -215,6 +227,9 @@ func (l *Logger) log(level LogLevel, msg string, kvs []any) {
 	l.sink.mu.Lock()
 	_, _ = l.sink.w.Write(buf)
 	l.sink.mu.Unlock()
+	if level >= LogWarn {
+		l.sink.flight.RecordLog(now.UnixNano(), level, buf) // nil-safe
+	}
 	l.sink.lines.Add(1)
 }
 

@@ -25,6 +25,16 @@ type SpanRecord struct {
 	ID uint64
 	// Parent is the enclosing span's ID, or 0 for a root span.
 	Parent uint64
+	// TraceHi/TraceLo carry the distributed trace ID this span belongs
+	// to (both 0 for an untraced span).
+	TraceHi uint64
+	TraceLo uint64
+	// Remote is the propagated parent span ID from the upstream process
+	// (the router's or client's span), set only on spans opened directly
+	// from an X-Rmcc-Trace header; 0 otherwise. Remote IDs live in the
+	// upstream tracer's ordinal space, so they are rendered distinctly
+	// from local Parent links.
+	Remote uint64
 	// Name is the stage name ("replay", "queue-wait", "engine-step", ...).
 	Name string
 	// Detail is free-form context (typically a session id or URL path).
@@ -33,6 +43,11 @@ type SpanRecord struct {
 	Start int64
 	// Duration is the span's length in nanoseconds.
 	Duration int64
+}
+
+// TraceID returns the span's 32-hex-digit trace ID ("" when untraced).
+func (r SpanRecord) TraceID() string {
+	return TraceContext{TraceHi: r.TraceHi, TraceLo: r.TraceLo}.TraceID()
 }
 
 // spanStage is the per-stage summary hookup set by RegisterStage.
@@ -55,10 +70,11 @@ type SpanTracer struct {
 	ids    atomic.Uint64
 	stages map[string]spanStage
 
-	mu   sync.Mutex
-	ring []SpanRecord
-	next uint64
-	fwd  *Tracer
+	mu     sync.Mutex
+	ring   []SpanRecord
+	next   uint64
+	fwd    *Tracer
+	flight *FlightRecorder
 }
 
 // NewSpanTracer builds a tracer retaining the newest capacity completed
@@ -103,17 +119,69 @@ func (t *SpanTracer) AttachTracer(tr *Tracer) {
 	}
 }
 
+// AttachFlight mirrors every completed span into the flight recorder's
+// crash ring. The record happens under the span tracer's mutex after the
+// ring store. Configuration-time only.
+func (t *SpanTracer) AttachFlight(fr *FlightRecorder) {
+	if t != nil {
+		t.flight = fr
+	}
+}
+
 // Start opens a span. parent is the enclosing span's ID (0 for roots).
 // The returned Span is a value — starting and ending a span allocates
 // nothing. On a nil tracer it returns an inert Span whose End is a no-op.
 func (t *SpanTracer) Start(name, detail string, parent uint64) Span {
+	return t.StartT(name, detail, parent, TraceContext{})
+}
+
+// traceBits returns tc's trace ID for span association, honoring the
+// sampled bit: an unsampled context still propagates downstream on the
+// wire but associates no spans, so /debug/tracez?trace= stays empty for
+// it by design.
+func traceBits(tc TraceContext) (hi, lo uint64) {
+	if !tc.Sampled {
+		return 0, 0
+	}
+	return tc.TraceHi, tc.TraceLo
+}
+
+// StartT opens a span inside trace tc with a local parent link. Only tc's
+// trace ID and sampled bit are used; parent is the local enclosing span's
+// ID exactly as in Start. The zero TraceContext degrades to Start, and an
+// unsampled tc records the span without the trace association.
+func (t *SpanTracer) StartT(name, detail string, parent uint64, tc TraceContext) Span {
 	if t == nil {
 		return Span{}
 	}
+	hi, lo := traceBits(tc)
 	return Span{
 		t:      t,
 		id:     t.ids.Add(1),
 		parent: parent,
+		hi:     hi,
+		lo:     lo,
+		name:   name,
+		detail: detail,
+		start:  t.now().UnixNano(),
+	}
+}
+
+// StartRemote opens a root span continuing a propagated trace context:
+// the span has no local parent, and tc.SpanID (the upstream process's
+// span) is recorded as its remote parent. This is the request-ingress
+// path for X-Rmcc-Trace.
+func (t *SpanTracer) StartRemote(name, detail string, tc TraceContext) Span {
+	if t == nil {
+		return Span{}
+	}
+	hi, lo := traceBits(tc)
+	return Span{
+		t:      t,
+		id:     t.ids.Add(1),
+		remote: tc.SpanID,
+		hi:     hi,
+		lo:     lo,
 		name:   name,
 		detail: detail,
 		start:  t.now().UnixNano(),
@@ -125,14 +193,21 @@ func (t *SpanTracer) Start(name, detail string, parent uint64) Span {
 // elsewhere, like the shard pool's queue-wait/run timestamps. No-op
 // returning 0 on a nil tracer.
 func (t *SpanTracer) Record(name, detail string, parent uint64, startNS int64, d time.Duration) uint64 {
+	return t.RecordT(name, detail, parent, TraceContext{}, startNS, d)
+}
+
+// RecordT is Record inside trace tc (trace ID only; parent stays the
+// local link). Allocation-free — it runs on the replay chunk path.
+func (t *SpanTracer) RecordT(name, detail string, parent uint64, tc TraceContext, startNS int64, d time.Duration) uint64 {
 	if t == nil {
 		return 0
 	}
 	if d < 0 {
 		d = 0
 	}
+	hi, lo := traceBits(tc)
 	id := t.ids.Add(1)
-	t.record(SpanRecord{ID: id, Parent: parent, Name: name, Detail: detail, Start: startNS, Duration: int64(d)})
+	t.record(SpanRecord{ID: id, Parent: parent, TraceHi: hi, TraceLo: lo, Name: name, Detail: detail, Start: startNS, Duration: int64(d)})
 	return id
 }
 
@@ -146,7 +221,24 @@ func (t *SpanTracer) record(r SpanRecord) {
 	if t.fwd != nil {
 		t.fwd.Emit(EvSpanEnd, st.idx, us, r.ID)
 	}
+	t.flight.RecordSpan(r) // nil-safe
 	t.mu.Unlock()
+}
+
+// Dropped returns how many completed spans have been overwritten in the
+// ring before any export could read them (0 on nil). This is the feed for
+// rmccd_spans_dropped_total: a wrapped ring means /debug/tracez is showing
+// a truncated window.
+func (t *SpanTracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next > uint64(len(t.ring)) {
+		return t.next - uint64(len(t.ring))
+	}
+	return 0
 }
 
 // Total returns the number of spans completed over the tracer's lifetime
@@ -200,6 +292,28 @@ func (t *SpanTracer) Spans() []SpanRecord {
 	return out
 }
 
+// SpansForTrace returns the retained spans belonging to trace (hi, lo),
+// sorted by (start, span ID) so single-node output and cluster fan-out
+// merges are deterministic — the /debug/tracez?trace= view.
+func (t *SpanTracer) SpansForTrace(hi, lo uint64) []SpanRecord {
+	if t == nil || (hi == 0 && lo == 0) {
+		return nil
+	}
+	var out []SpanRecord
+	for _, r := range t.Spans() {
+		if r.TraceHi == hi && r.TraceLo == lo {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
 // Slowest returns up to n retained spans by descending duration (ties
 // break on ascending ID) — the /debug/tracez view.
 func (t *SpanTracer) Slowest(n int) []SpanRecord {
@@ -222,6 +336,8 @@ type Span struct {
 	t      *SpanTracer
 	id     uint64
 	parent uint64
+	remote uint64
+	hi, lo uint64
 	name   string
 	detail string
 	start  int64
@@ -240,5 +356,5 @@ func (s Span) End() {
 	if d < 0 {
 		d = 0
 	}
-	s.t.record(SpanRecord{ID: s.id, Parent: s.parent, Name: s.name, Detail: s.detail, Start: s.start, Duration: d})
+	s.t.record(SpanRecord{ID: s.id, Parent: s.parent, TraceHi: s.hi, TraceLo: s.lo, Remote: s.remote, Name: s.name, Detail: s.detail, Start: s.start, Duration: d})
 }

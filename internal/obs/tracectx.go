@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file is the cross-process half of the span layer: a
+// W3C-traceparent-style trace context carried on the X-Rmcc-Trace header.
+// rmcc-loadgen (or any client) mints a context per session, the router and
+// the daemon each record their spans under it and re-issue the header with
+// their own span ID as the new parent, so one 128-bit trace ID links the
+// client, the router hop, every node a session touches across a drain, and
+// the per-chunk stage spans inside the engine.
+//
+// Wire form (55 bytes, strict):
+//
+//	00-<32 lowercase hex trace id>-<16 lowercase hex span id>-<2 hex flags>
+//
+// Flags bit 0 is the sampled bit. The version field is fixed at "00";
+// anything else — wrong length, uppercase hex, zero trace ID — is a parse
+// error so handlers can reject bad headers as client errors instead of
+// tracing garbage.
+
+// TraceHeader is the HTTP header carrying a TraceContext.
+const TraceHeader = "X-Rmcc-Trace"
+
+// TraceHeaderLen is the exact encoded length of a trace context header
+// value. Longer values are rejected before hex decoding.
+const TraceHeaderLen = 55
+
+// ErrTraceContext is the typed parse error for malformed header values.
+var ErrTraceContext = errors.New("malformed trace context")
+
+// TraceContext identifies a position in a distributed trace: the 128-bit
+// trace ID (split into two words), the 64-bit ID of the span that owns
+// this context, and the sampled flag. It is a value type — threading one
+// through a hot path allocates nothing. The zero value is "untraced".
+type TraceContext struct {
+	TraceHi uint64
+	TraceLo uint64
+	SpanID  uint64
+	Sampled bool
+}
+
+// Valid reports whether the context carries a real trace ID.
+func (tc TraceContext) Valid() bool { return tc.TraceHi != 0 || tc.TraceLo != 0 }
+
+// TraceID returns the 32-hex-digit trace ID ("" for an untraced context).
+func (tc TraceContext) TraceID() string {
+	if !tc.Valid() {
+		return ""
+	}
+	return fmt.Sprintf("%016x%016x", tc.TraceHi, tc.TraceLo)
+}
+
+// String renders the header wire form ("" for an untraced context).
+func (tc TraceContext) String() string {
+	if !tc.Valid() {
+		return ""
+	}
+	flags := uint64(0)
+	if tc.Sampled {
+		flags = 1
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-%02x", tc.TraceHi, tc.TraceLo, tc.SpanID, flags)
+}
+
+// MintTraceContext draws a fresh sampled trace context from crypto/rand:
+// a random nonzero 128-bit trace ID and a random root span ID. It is the
+// client-side origin of a trace; servers only ever adopt and re-parent.
+func MintTraceContext() TraceContext {
+	var b [24]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero trace
+		// (untraced) is the safe degradation if it somehow does.
+		return TraceContext{}
+	}
+	tc := TraceContext{
+		TraceHi: binary.BigEndian.Uint64(b[0:8]),
+		TraceLo: binary.BigEndian.Uint64(b[8:16]),
+		SpanID:  binary.BigEndian.Uint64(b[16:24]),
+		Sampled: true,
+	}
+	if !tc.Valid() {
+		tc.TraceLo = 1
+	}
+	return tc
+}
+
+// ParseTraceContext parses a header value. It returns the zero context
+// with a nil error for an empty value (no header = untraced), and
+// ErrTraceContext-wrapped errors for anything that is not the exact wire
+// form. Parsing allocates nothing on success.
+func ParseTraceContext(v string) (TraceContext, error) {
+	if v == "" {
+		return TraceContext{}, nil
+	}
+	if len(v) != TraceHeaderLen {
+		return TraceContext{}, fmt.Errorf("%w: length %d, want %d", ErrTraceContext, len(v), TraceHeaderLen)
+	}
+	if v[0] != '0' || v[1] != '0' || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return TraceContext{}, fmt.Errorf("%w: bad version or separators", ErrTraceContext)
+	}
+	hi, ok1 := parseHex64(v[3:19])
+	lo, ok2 := parseHex64(v[19:35])
+	sp, ok3 := parseHex64(v[36:52])
+	fl, ok4 := parseHex64(v[53:55])
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return TraceContext{}, fmt.Errorf("%w: non-hex digits", ErrTraceContext)
+	}
+	tc := TraceContext{TraceHi: hi, TraceLo: lo, SpanID: sp, Sampled: fl&1 != 0}
+	if !tc.Valid() {
+		return TraceContext{}, fmt.Errorf("%w: zero trace id", ErrTraceContext)
+	}
+	return tc, nil
+}
+
+// ParseTraceID parses a bare 32-hex-digit trace ID (the ?trace= query
+// form) into its two words.
+func ParseTraceID(v string) (hi, lo uint64, err error) {
+	if len(v) != 32 {
+		return 0, 0, fmt.Errorf("%w: trace id length %d, want 32", ErrTraceContext, len(v))
+	}
+	hi, ok1 := parseHex64(v[:16])
+	lo, ok2 := parseHex64(v[16:])
+	if !ok1 || !ok2 {
+		return 0, 0, fmt.Errorf("%w: non-hex digits", ErrTraceContext)
+	}
+	if hi == 0 && lo == 0 {
+		return 0, 0, fmt.Errorf("%w: zero trace id", ErrTraceContext)
+	}
+	return hi, lo, nil
+}
+
+// parseHex64 decodes up to 16 lowercase hex digits. Uppercase is rejected
+// on purpose: the wire form is canonical so encoded contexts are directly
+// comparable as strings.
+func parseHex64(s string) (uint64, bool) {
+	var x uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			x = x<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			x = x<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	return x, true
+}

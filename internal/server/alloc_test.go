@@ -48,17 +48,30 @@ func TestReplayChunkInstrumentationAllocFree(t *testing.T) {
 		Logger: obs.NewLogger(io.Discard, obs.LogError, obs.LogText),
 	})
 	ctx := context.Background()
+	// A full distributed trace context attached to the chunk: the
+	// tentpole's acceptance bar is that tracing adds zero allocations on
+	// this path, sampled or not.
+	sampled := obs.TraceContext{TraceHi: 0xaaaa, TraceLo: 0xbbbb, SpanID: 1, Sampled: true}
+	unsampled := obs.TraceContext{TraceHi: 0xcccc, TraceLo: 0xdddd, SpanID: 1}
 
 	// Warm up: first chunk lazily creates the access stream.
-	if _, _, _, err := s.applyWorkloadChunk(ctx, sess, 0, 1); err != nil {
+	if _, _, _, err := s.applyWorkloadChunk(ctx, sess, 0, sampled); err != nil {
 		t.Fatal(err)
 	}
 
 	instrumented := testing.AllocsPerRun(200, func() {
-		if _, _, _, err := s.applyWorkloadChunk(ctx, sess, 0, 1); err != nil {
+		if _, _, _, err := s.applyWorkloadChunk(ctx, sess, 0, sampled); err != nil {
 			t.Fatal(err)
 		}
 	})
+	untraced := testing.AllocsPerRun(200, func() {
+		if _, _, _, err := s.applyWorkloadChunk(ctx, sess, 0, unsampled); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if untraced != instrumented {
+		t.Errorf("unsampled trace context changes chunk allocations: %.1f vs %.1f/op", untraced, instrumented)
+	}
 
 	// Control: the pre-instrumentation chunk shape — same closure-captured
 	// result variables, untimed pool round-trip, no spans, no histograms.
@@ -101,7 +114,7 @@ func TestReplayChunkInstrumentationAllocFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	afterCkpt := testing.AllocsPerRun(200, func() {
-		if _, _, _, err := s.applyWorkloadChunk(ctx, sess, 0, 1); err != nil {
+		if _, _, _, err := s.applyWorkloadChunk(ctx, sess, 0, sampled); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -120,10 +133,22 @@ func TestRecordChunkAllocFree(t *testing.T) {
 		Logger: obs.NewLogger(io.Discard, obs.LogError, obs.LogText),
 	})
 	jt := jobTimes{startNS: 1_000, endNS: 51_000}
+	tc := obs.TraceContext{TraceHi: 1, TraceLo: 2, SpanID: 7, Sampled: true}
 	allocs := testing.AllocsPerRun(500, func() {
-		s.recordChunk(sess, 7, 0, jt, 4096)
+		s.recordChunk(sess, tc, 0, jt, 4096)
 	})
 	if allocs != 0 {
 		t.Errorf("recordChunk allocates %.1f/op with observability disabled, want 0", allocs)
+	}
+
+	// With the flight recorder mirroring every completed span, the stage
+	// recording must stay allocation-free — the crash ring is part of the
+	// steady-state hot path whenever -flight-file is set.
+	s.spans.AttachFlight(obs.NewFlightRecorder(1<<20, "alloc-test"))
+	allocs = testing.AllocsPerRun(500, func() {
+		s.recordChunk(sess, tc, 0, jt, 4096)
+	})
+	if allocs != 0 {
+		t.Errorf("recordChunk allocates %.1f/op with the flight recorder attached, want 0", allocs)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"time"
 
+	"rmcc/internal/obs"
 	"rmcc/internal/server"
 	"rmcc/internal/trace"
 	"rmcc/internal/workload"
@@ -21,8 +22,9 @@ import (
 
 // Client talks to one rmccd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	trace obs.TraceContext
 }
 
 // New builds a client for base, e.g. "http://127.0.0.1:8077". Replays
@@ -38,6 +40,33 @@ func New(base string) *Client {
 	return &Client{base: base, hc: &http.Client{Transport: tr}}
 }
 
+// WithTraceContext returns a client whose requests carry tc on the
+// X-Rmcc-Trace header, joining every server-side span they cause into
+// tc's distributed trace. The copy shares the transport; the zero context
+// returns the receiver unchanged. Loadgen mints one context per session
+// so a session's whole life — create, replays across a drain migration,
+// delete — is one trace.
+func (c *Client) WithTraceContext(tc obs.TraceContext) *Client {
+	if !tc.Valid() {
+		return c
+	}
+	cc := *c
+	cc.trace = tc
+	return &cc
+}
+
+// TraceContext returns the context set by WithTraceContext (zero when
+// none).
+func (c *Client) TraceContext() obs.TraceContext { return c.trace }
+
+// send applies the client's trace context and issues the request.
+func (c *Client) send(req *http.Request) (*http.Response, error) {
+	if c.trace.Valid() {
+		req.Header.Set(obs.TraceHeader, c.trace.String())
+	}
+	return c.hc.Do(req)
+}
+
 // APIError is a non-2xx daemon response.
 type APIError struct {
 	Status int
@@ -50,7 +79,7 @@ func (e *APIError) Error() string {
 
 // do issues a request and decodes a JSON response into out (unless nil).
 func (c *Client) do(req *http.Request, out any) error {
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return err
 	}
@@ -140,7 +169,7 @@ func (c *Client) CheckpointDownload(ctx context.Context, id string) ([]byte, err
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return nil, err
 	}
@@ -276,7 +305,7 @@ func (c *Client) ReplayNDJSON(ctx context.Context, id string, body io.Reader) (s
 // or the NDJSON frame stream.
 func (c *Client) replay(req *http.Request, streaming bool, onProgress func(uint64)) (server.ReplayStats, error) {
 	var stats server.ReplayStats
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return stats, err
 	}
@@ -352,7 +381,7 @@ func (c *Client) RawMetrics(ctx context.Context) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.send(req)
 	if err != nil {
 		return "", err
 	}
@@ -362,4 +391,51 @@ func (c *Client) RawMetrics(ctx context.Context) (string, error) {
 	}
 	b, err := io.ReadAll(resp.Body)
 	return string(b), err
+}
+
+// Tracez fetches /debug/tracez. With traceID set it returns the node's
+// full span tree for that trace (sorted by start, span ID); otherwise the
+// slowest-spans view limited to n (n <= 0 uses the server default).
+func (c *Client) Tracez(ctx context.Context, traceID string, n int) (server.TracezResponse, error) {
+	var resp server.TracezResponse
+	url := c.base + "/debug/tracez"
+	switch {
+	case traceID != "":
+		url += "?trace=" + traceID
+	case n > 0:
+		url += "?n=" + strconv.Itoa(n)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return resp, err
+	}
+	return resp, c.do(req, &resp)
+}
+
+// Flightz fetches the /debug/flightz summary.
+func (c *Client) Flightz(ctx context.Context) (server.FlightzInfo, error) {
+	var info server.FlightzInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/debug/flightz", nil)
+	if err != nil {
+		return info, err
+	}
+	return info, c.do(req, &info)
+}
+
+// FlightDump fetches and decodes the node's flight-recorder dump
+// (/debug/flightz?dump=1).
+func (c *Client) FlightDump(ctx context.Context) (*obs.FlightDump, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/debug/flightz?dump=1", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.send(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return obs.ReadFlightDump(resp.Body)
 }

@@ -20,6 +20,7 @@ func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	mux.HandleFunc("GET /debug/tracez", s.handleTracez)
+	mux.HandleFunc("GET /debug/flightz", s.handleFlightz)
 	// Explicit pprof registration; pprof.Index serves the named profiles
 	// (heap, goroutine, ...) under /debug/pprof/<name> itself.
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -49,9 +50,17 @@ type StatuszInfo struct {
 	// ShardOccupancy counts live sessions per shard.
 	ShardOccupancy []int `json:"shard_occupancy"`
 
-	SpansTotal    uint64 `json:"spans_total"`
+	SpansTotal uint64 `json:"spans_total"`
+	// SpansDropped counts spans overwritten in the ring before any export
+	// read them: nonzero means /debug/tracez windows are truncated.
+	SpansDropped  uint64 `json:"spans_dropped"`
 	LogLines      uint64 `json:"log_lines"`
 	NumGoroutines int    `json:"num_goroutines"`
+
+	// Flight-recorder state (zero without a recorder attached).
+	FlightRecords uint64 `json:"flight_records,omitempty"`
+	FlightDropped uint64 `json:"flight_dropped,omitempty"`
+	FlightBytes   int    `json:"flight_bytes,omitempty"`
 
 	// Durable-checkpoint state (zero/empty without -snapshot-dir).
 	SnapshotDir       string `json:"snapshot_dir,omitempty"`
@@ -74,8 +83,13 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		ChunkAccesses: s.cfg.ChunkAccesses,
 		MaxSessions:   s.cfg.MaxSessions,
 		SpansTotal:    s.spans.Total(),
+		SpansDropped:  s.spans.Dropped(),
 		LogLines:      s.log.Lines(),
 		NumGoroutines: runtime.NumGoroutine(),
+
+		FlightRecords: s.cfg.Flight.Records(),
+		FlightDropped: s.cfg.Flight.Dropped(),
+		FlightBytes:   s.cfg.Flight.Bytes(),
 
 		SnapshotDir:       s.cfg.SnapshotDir,
 		SnapshotsTotal:    s.mSnapshots.Value(),
@@ -99,24 +113,85 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 // TracezSpan is one span in the GET /debug/tracez body, with durations
 // rendered in microseconds for human and rmcc-top consumption.
 type TracezSpan struct {
-	ID         uint64 `json:"id"`
-	Parent     uint64 `json:"parent,omitempty"`
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Trace is the 32-hex-digit distributed trace ID ("" when untraced).
+	Trace string `json:"trace,omitempty"`
+	// Remote is the propagated parent span ID from the upstream process
+	// (its ordinal space, not this node's), 0 when none.
+	Remote uint64 `json:"remote,omitempty"`
+	// Node identifies the process that recorded the span; the router
+	// stamps its own rows "router" and fan-out rows keep the node's own
+	// stamp, so merged trees are attributable and diffable.
+	Node       string `json:"node,omitempty"`
 	Name       string `json:"name"`
 	Detail     string `json:"detail,omitempty"`
 	Start      string `json:"start"` // RFC 3339 UTC, nanosecond precision
+	StartNS    int64  `json:"start_ns"`
 	DurationUS uint64 `json:"duration_us"`
 }
 
-// TracezResponse is the GET /debug/tracez body.
+// TracezResponse is the GET /debug/tracez body. Without ?trace= it is the
+// slowest-spans view (Slowest); with ?trace=<32-hex id> it is the full
+// tree for that trace (Trace + Spans, sorted by (start, span ID)).
 type TracezResponse struct {
-	TotalSpans uint64       `json:"total_spans"`
-	Retained   int          `json:"retained"`
-	Slowest    []TracezSpan `json:"slowest"`
+	Node         string       `json:"node,omitempty"`
+	TotalSpans   uint64       `json:"total_spans"`
+	Retained     int          `json:"retained"`
+	SpansDropped uint64       `json:"spans_dropped"`
+	Trace        string       `json:"trace,omitempty"`
+	Spans        []TracezSpan `json:"spans,omitempty"`
+	Slowest      []TracezSpan `json:"slowest,omitempty"`
+}
+
+// TracezSpanOf renders one span record with a node stamp. Exported for
+// the router, which merges node rows with its own into one cluster-wide
+// tracez tree.
+func TracezSpanOf(sp obs.SpanRecord, node string) TracezSpan { return tracezSpan(sp, node) }
+
+// tracezSpan renders one span record with the node stamp.
+func tracezSpan(sp obs.SpanRecord, node string) TracezSpan {
+	return TracezSpan{
+		ID:         sp.ID,
+		Parent:     sp.Parent,
+		Trace:      sp.TraceID(),
+		Remote:     sp.Remote,
+		Node:       node,
+		Name:       sp.Name,
+		Detail:     sp.Detail,
+		Start:      time.Unix(0, sp.Start).UTC().Format(time.RFC3339Nano),
+		StartNS:    sp.Start,
+		DurationUS: uint64(sp.Duration) / 1e3,
+	}
 }
 
 // handleTracez reports the slowest retained spans (?n=, default 25) —
-// the live "where did the time go" view over recent requests and chunks.
+// the live "where did the time go" view over recent requests and chunks —
+// or, with ?trace=<32-hex id>, every retained span of one distributed
+// trace sorted by (start, span ID): the single-node slice of the
+// cluster-wide tree the router assembles.
 func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if trace := r.URL.Query().Get("trace"); trace != "" {
+		hi, lo, err := obs.ParseTraceID(trace)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		spans := s.spans.SpansForTrace(hi, lo)
+		resp := TracezResponse{
+			Node:         s.cfg.NodeID,
+			TotalSpans:   s.spans.Total(),
+			Retained:     s.spans.Len(),
+			SpansDropped: s.spans.Dropped(),
+			Trace:        trace,
+			Spans:        make([]TracezSpan, 0, len(spans)),
+		}
+		for _, sp := range spans {
+			resp.Spans = append(resp.Spans, tracezSpan(sp, s.cfg.NodeID))
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	n := 25
 	if raw := r.URL.Query().Get("n"); raw != "" {
 		v, err := parseUint(raw)
@@ -128,21 +203,50 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 	}
 	slow := s.spans.Slowest(n)
 	resp := TracezResponse{
-		TotalSpans: s.spans.Total(),
-		Retained:   s.spans.Len(),
-		Slowest:    make([]TracezSpan, 0, len(slow)),
+		Node:         s.cfg.NodeID,
+		TotalSpans:   s.spans.Total(),
+		Retained:     s.spans.Len(),
+		SpansDropped: s.spans.Dropped(),
+		Slowest:      make([]TracezSpan, 0, len(slow)),
 	}
 	for _, sp := range slow {
-		resp.Slowest = append(resp.Slowest, TracezSpan{
-			ID:         sp.ID,
-			Parent:     sp.Parent,
-			Name:       sp.Name,
-			Detail:     sp.Detail,
-			Start:      time.Unix(0, sp.Start).UTC().Format(time.RFC3339Nano),
-			DurationUS: uint64(sp.Duration) / 1e3,
-		})
+		resp.Slowest = append(resp.Slowest, tracezSpan(sp, s.cfg.NodeID))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// FlightzInfo is the GET /debug/flightz summary body.
+type FlightzInfo struct {
+	Node     string `json:"node"`
+	Enabled  bool   `json:"enabled"`
+	Records  uint64 `json:"records"`
+	Dropped  uint64 `json:"dropped"`
+	Bytes    int    `json:"bytes"`
+	CapBytes int    `json:"cap_bytes"`
+}
+
+// handleFlightz summarizes the flight recorder; ?dump=1 streams the full
+// binary dump (obs.ReadFlightDump decodes it, `rmcc-top -flight -` renders
+// it). 404 when the daemon runs without a recorder.
+func (s *Server) handleFlightz(w http.ResponseWriter, r *http.Request) {
+	fr := s.cfg.Flight
+	if r.URL.Query().Get("dump") == "1" {
+		if fr == nil {
+			writeError(w, http.StatusNotFound, "no flight recorder attached")
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_ = fr.Dump(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, FlightzInfo{
+		Node:     s.cfg.NodeID,
+		Enabled:  fr != nil,
+		Records:  fr.Records(),
+		Dropped:  fr.Dropped(),
+		Bytes:    fr.Bytes(),
+		CapBytes: fr.Cap(),
+	})
 }
 
 // Spans exposes the daemon's span tracer (tests, embedding).

@@ -2,21 +2,30 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"time"
 
 	"rmcc/internal/obs"
 )
 
-// spanCtxKey carries the request span's ID through the request context so
-// handler-level spans (replay, chunk stages) can parent under it.
+// spanCtxKey carries the request's local trace context — the distributed
+// trace ID (if any) plus the request span's ID as SpanID — so
+// handler-level spans (replay, chunk stages) can parent under it and
+// inherit the trace.
 type spanCtxKey struct{}
 
 // parentSpan returns the enclosing request span ID (0 when uninstrumented,
 // e.g. direct handler calls in tests).
 func parentSpan(ctx context.Context) uint64 {
-	id, _ := ctx.Value(spanCtxKey{}).(uint64)
-	return id
+	return traceCtx(ctx).SpanID
+}
+
+// traceCtx returns the request's local trace context (zero when
+// uninstrumented or untraced).
+func traceCtx(ctx context.Context) obs.TraceContext {
+	tc, _ := ctx.Value(spanCtxKey{}).(obs.TraceContext)
+	return tc
 }
 
 // instrument wraps a handler with per-endpoint SLO accounting: a request
@@ -33,12 +42,26 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		classes[class] = s.reg.Counter("rmccd_requests_total", cntHelp,
 			obs.L("class", class), obs.L("endpoint", endpoint))
 	}
-	traced := endpoint != "healthz" && endpoint != "metrics" && endpoint != "statusz"
+	traced := endpoint != "healthz" && endpoint != "metrics" &&
+		endpoint != "statusz" && endpoint != "tracez" && endpoint != "flightz"
 	return func(w http.ResponseWriter, r *http.Request) {
+		tc, err := parseTraceHeader(r)
+		if err != nil {
+			// A malformed context is a client error, never a 5xx: reject
+			// before any session work so tracing garbage can't propagate.
+			writeError(w, http.StatusBadRequest, err.Error())
+			if c := classes["4xx"]; c != nil {
+				c.Inc()
+			}
+			return
+		}
 		var span obs.Span
 		if traced {
-			span = s.spans.Start("http."+endpoint, r.URL.Path, 0)
-			r = r.WithContext(context.WithValue(r.Context(), spanCtxKey{}, span.ID()))
+			span = s.spans.StartRemote("http."+endpoint, r.URL.Path, tc)
+			// Handlers see the trace rebased onto the request span: child
+			// spans parent under SpanID and carry the same trace ID.
+			tc.SpanID = span.ID()
+			r = r.WithContext(context.WithValue(r.Context(), spanCtxKey{}, tc))
 		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
@@ -51,6 +74,21 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 			span.End()
 		}
 	}
+}
+
+// parseTraceHeader extracts the request's X-Rmcc-Trace context. Oversized
+// values are rejected on length alone so a hostile header never reaches
+// the hex decoder.
+func parseTraceHeader(r *http.Request) (obs.TraceContext, error) {
+	v := r.Header.Get(obs.TraceHeader)
+	if len(v) > obs.TraceHeaderLen {
+		return obs.TraceContext{}, fmt.Errorf("%s header too long (%d bytes)", obs.TraceHeader, len(v))
+	}
+	tc, err := obs.ParseTraceContext(v)
+	if err != nil {
+		return obs.TraceContext{}, fmt.Errorf("%s: %v", obs.TraceHeader, err)
+	}
+	return tc, nil
 }
 
 // classOf buckets a status code into the counter classes.

@@ -124,7 +124,11 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.forceCtx, cancel)
 	defer stop()
 
-	rsp := s.spans.Start("replay", sess.id, parentSpan(r.Context()))
+	lc := traceCtx(r.Context())
+	rsp := s.spans.StartT("replay", sess.id, lc.SpanID, lc)
+	// rtc is the trace context for everything under the replay span.
+	rtc := lc
+	rtc.SpanID = rsp.ID()
 	defer rsp.End()
 
 	rw := &replayWriter{w: w, every: progressEvery}
@@ -134,18 +138,18 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case useWorkload:
 		s.wireMetrics[wireWorkload].requests.Inc()
-		applied, err = s.replayWorkload(ctx, sess, accesses, rw, rsp.ID())
+		applied, err = s.replayWorkload(ctx, sess, accesses, rw, rtc)
 	case isBinaryReplay(r.Header.Get("Content-Type")):
 		wm := s.wireMetrics[wireBinary]
 		wm.requests.Inc()
 		body := &countingReader{r: r.Body}
-		applied, err = s.replayBinary(ctx, sess, body, rw, rsp.ID())
+		applied, err = s.replayBinary(ctx, sess, body, rw, rtc)
 		wm.bytes.Add(body.n)
 	default:
 		wm := s.wireMetrics[wireNDJSON]
 		wm.requests.Inc()
 		body := &countingReader{r: r.Body}
-		applied, err = s.replayNDJSON(ctx, sess, body, rw, rsp.ID())
+		applied, err = s.replayNDJSON(ctx, sess, body, rw, rtc)
 		wm.bytes.Add(body.n)
 	}
 	s.mReplayAccesses.Add(applied)
@@ -187,7 +191,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	stats.WallSeconds = time.Since(start).Seconds()
 	encStart := time.Now()
 	rw.result(stats)
-	s.spans.Record(stageEncode, sess.id, rsp.ID(), encStart.UnixNano(), time.Since(encStart))
+	s.spans.RecordT(stageEncode, sess.id, rtc.SpanID, rtc, encStart.UnixNano(), time.Since(encStart))
 	sess.lg.Info("replay complete", "accesses", applied,
 		"total_accesses", res.Accesses, "wall_seconds", stats.WallSeconds)
 }
@@ -214,12 +218,13 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 }
 
 // applyWorkloadChunk runs fn-equivalent chunk work on the session's shard
-// and records its queue-wait and engine-step stage spans under parent.
+// and records its queue-wait and engine-step stage spans under the trace
+// context's span.
 // This is THE hot service-layer path — one call per ChunkAccesses — and
 // its per-call allocations are capped at the untimed PR-4 profile (one
 // closure + one completion channel), enforced by
 // TestReplayChunkInstrumentationAllocFree.
-func (s *Server) applyWorkloadChunk(ctx context.Context, sess *session, want uint64, parent uint64) (got, total uint64, exhausted bool, err error) {
+func (s *Server) applyWorkloadChunk(ctx context.Context, sess *session, want uint64, tc obs.TraceContext) (got, total uint64, exhausted bool, err error) {
 	s.mEnqueueDepth.Observe(uint64(s.pool.queueLen(sess.shard)))
 	submit := time.Now().UnixNano()
 	jt, err := s.pool.doTimed(ctx, sess.shard, func() {
@@ -262,7 +267,7 @@ func (s *Server) applyWorkloadChunk(ctx context.Context, sess *session, want uin
 	if err != nil {
 		return got, total, exhausted, err
 	}
-	s.recordChunk(sess, parent, submit, jt, got)
+	s.recordChunk(sess, tc, submit, jt, got)
 	return got, total, exhausted, nil
 }
 
@@ -270,9 +275,9 @@ func (s *Server) applyWorkloadChunk(ctx context.Context, sess *session, want uin
 // applied chunk, feeds the session's latency history, and (sampled, debug
 // level only) logs the chunk. Allocation-free when the logger is disabled
 // or filtered.
-func (s *Server) recordChunk(sess *session, parent uint64, submitNS int64, jt jobTimes, got uint64) {
-	s.spans.Record(stageQueueWait, sess.id, parent, submitNS, time.Duration(jt.startNS-submitNS))
-	s.spans.Record(stageEngine, sess.id, parent, jt.startNS, time.Duration(jt.endNS-jt.startNS))
+func (s *Server) recordChunk(sess *session, tc obs.TraceContext, submitNS int64, jt jobTimes, got uint64) {
+	s.spans.RecordT(stageQueueWait, sess.id, tc.SpanID, tc, submitNS, time.Duration(jt.startNS-submitNS))
+	s.spans.RecordT(stageEngine, sess.id, tc.SpanID, tc, jt.startNS, time.Duration(jt.endNS-jt.startNS))
 	stepUS := uint64(jt.endNS-jt.startNS) / 1e3
 	sess.chunkHist.Observe(stepUS)
 	if sess.lg.Enabled(obs.LogDebug) && sess.sampler.Allow() {
@@ -283,7 +288,7 @@ func (s *Server) recordChunk(sess *session, parent uint64, submitNS int64, jt jo
 
 // replayWorkload steps the bound generator for n accesses in shard-owned
 // chunks.
-func (s *Server) replayWorkload(ctx context.Context, sess *session, n uint64, rw *replayWriter, parent uint64) (uint64, error) {
+func (s *Server) replayWorkload(ctx context.Context, sess *session, n uint64, rw *replayWriter, tc obs.TraceContext) (uint64, error) {
 	var applied uint64
 	for applied < n {
 		if err := ctx.Err(); err != nil {
@@ -293,14 +298,14 @@ func (s *Server) replayWorkload(ctx context.Context, sess *session, n uint64, rw
 		if rem := n - applied; rem < want {
 			want = rem
 		}
-		got, total, exhausted, err := s.applyWorkloadChunk(ctx, sess, want, parent)
+		got, total, exhausted, err := s.applyWorkloadChunk(ctx, sess, want, tc)
 		if err != nil {
 			return applied, err
 		}
 		applied += got
 		sess.accessesDone.Store(total)
 		sess.touch(s.cfg.Now())
-		if err := s.emitProgress(rw, sess, parent, applied); err != nil {
+		if err := s.emitProgress(rw, sess, tc, applied); err != nil {
 			return applied, err
 		}
 		if exhausted {
@@ -313,11 +318,11 @@ func (s *Server) replayWorkload(ctx context.Context, sess *session, n uint64, rw
 // emitProgress forwards to the replay writer and wraps any written frame
 // in an encode stage span. The no-frame case (threshold not crossed, or
 // no ?progress at all) costs two time reads and no allocation.
-func (s *Server) emitProgress(rw *replayWriter, sess *session, parent uint64, applied uint64) error {
+func (s *Server) emitProgress(rw *replayWriter, sess *session, tc obs.TraceContext, applied uint64) error {
 	start := time.Now()
 	wrote, err := rw.progress(applied)
 	if wrote {
-		s.spans.Record(stageEncode, sess.id, parent, start.UnixNano(), time.Since(start))
+		s.spans.RecordT(stageEncode, sess.id, tc.SpanID, tc, start.UnixNano(), time.Since(start))
 	}
 	return err
 }
@@ -336,7 +341,7 @@ type replaySource interface {
 // account, emit progress. Because each batch is applied before more
 // input is read, a slow simulation backpressures the upload through the
 // unread TCP window regardless of wire.
-func (s *Server) replayStream(ctx context.Context, sess *session, src replaySource, rw *replayWriter, parent uint64) (uint64, error) {
+func (s *Server) replayStream(ctx context.Context, sess *session, src replaySource, rw *replayWriter, tc obs.TraceContext) (uint64, error) {
 	batch := make([]workload.Access, 0, s.cfg.ChunkAccesses)
 	var applied uint64
 	for {
@@ -349,14 +354,14 @@ func (s *Server) replayStream(ctx context.Context, sess *session, src replaySour
 			return applied, srcErr
 		}
 		if len(batch) > 0 {
-			stepped, total, err := s.applyBatch(ctx, sess, batch, parent)
+			stepped, total, err := s.applyBatch(ctx, sess, batch, tc)
 			applied += uint64(stepped)
 			if err != nil {
 				return applied, err
 			}
 			sess.accessesDone.Store(total)
 			sess.touch(s.cfg.Now())
-			if err := s.emitProgress(rw, sess, parent, applied); err != nil {
+			if err := s.emitProgress(rw, sess, tc, applied); err != nil {
 				return applied, err
 			}
 			if stepped < len(batch) {
@@ -377,7 +382,7 @@ func (s *Server) replayStream(ctx context.Context, sess *session, src replaySour
 // stepped < len(batch) — rather than mutating the caller's slice, so
 // the apply loop's accounting never depends on cross-goroutine slice
 // surgery.
-func (s *Server) applyBatch(ctx context.Context, sess *session, batch []workload.Access, parent uint64) (stepped int, total uint64, err error) {
+func (s *Server) applyBatch(ctx context.Context, sess *session, batch []workload.Access, tc obs.TraceContext) (stepped int, total uint64, err error) {
 	s.mEnqueueDepth.Observe(uint64(s.pool.queueLen(sess.shard)))
 	submit := time.Now().UnixNano()
 	jt, err := s.pool.doTimed(ctx, sess.shard, func() {
@@ -394,7 +399,7 @@ func (s *Server) applyBatch(ctx context.Context, sess *session, batch []workload
 	if err != nil {
 		return 0, 0, err
 	}
-	s.recordChunk(sess, parent, submit, jt, uint64(stepped))
+	s.recordChunk(sess, tc, submit, jt, uint64(stepped))
 	return stepped, total, nil
 }
 
@@ -447,8 +452,8 @@ func (src *ndjsonSource) next(buf []workload.Access) ([]workload.Access, error) 
 }
 
 // replayNDJSON applies an NDJSON body through the shared apply loop.
-func (s *Server) replayNDJSON(ctx context.Context, sess *session, body io.Reader, rw *replayWriter, parent uint64) (uint64, error) {
-	return s.replayStream(ctx, sess, s.newNDJSONSource(body), rw, parent)
+func (s *Server) replayNDJSON(ctx context.Context, sess *session, body io.Reader, rw *replayWriter, tc obs.TraceContext) (uint64, error) {
+	return s.replayStream(ctx, sess, s.newNDJSONSource(body), rw, tc)
 }
 
 // binarySource decodes length-prefixed RMTR frames. Each frame is one
@@ -478,8 +483,8 @@ func (src *binarySource) next(buf []workload.Access) ([]workload.Access, error) 
 
 // replayBinary applies a binary-framed body through the shared apply
 // loop.
-func (s *Server) replayBinary(ctx context.Context, sess *session, body io.Reader, rw *replayWriter, parent uint64) (uint64, error) {
-	return s.replayStream(ctx, sess, &binarySource{fr: trace.NewFrameReader(body)}, rw, parent)
+func (s *Server) replayBinary(ctx context.Context, sess *session, body io.Reader, rw *replayWriter, tc obs.TraceContext) (uint64, error) {
+	return s.replayStream(ctx, sess, &binarySource{fr: trace.NewFrameReader(body)}, rw, tc)
 }
 
 // inputError marks client-side (4xx) replay failures.

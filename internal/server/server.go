@@ -77,6 +77,14 @@ type Config struct {
 	// LogSampleEvery admits one per-chunk debug log line in every N
 	// (default 64); chunk lines only exist at -log-level debug.
 	LogSampleEvery uint64
+	// NodeID stamps this daemon's spans in /debug/tracez output so
+	// cluster-wide fan-out merges attribute every row (default
+	// "rmccd"; rmccd sets it to -node-id or the resolved listen address).
+	NodeID string
+	// Flight, when set, mirrors every completed span (and, via the
+	// logger attachment done by the caller, warn+ log lines) into a
+	// crash-durable flight-recorder ring served at /debug/flightz.
+	Flight *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +123,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LogSampleEvery == 0 {
 		c.LogSampleEvery = 64
+	}
+	if c.NodeID == "" {
+		c.NodeID = "rmccd"
 	}
 	return c
 }
@@ -202,6 +213,7 @@ func New(cfg Config) *Server {
 	s.spans.RegisterStage(stageEngine, s.mStageEngine)
 	s.spans.RegisterStage(stageEncode, s.mStageEncode)
 	s.spans.AttachTracer(s.trace)
+	s.spans.AttachFlight(cfg.Flight)
 	s.initRoutes()
 	if cfg.SnapshotDir != "" {
 		// Rehydrate crashed sessions before any request can race a create,
@@ -308,6 +320,15 @@ func (s *Server) initMetrics() {
 		func() float64 { return s.cfg.Now().Sub(s.started).Seconds() })
 	s.reg.CounterFunc("rmccd_spans_total", "service-layer spans completed",
 		func() uint64 { return s.spans.Total() })
+	s.reg.CounterFunc("rmccd_spans_dropped_total",
+		"completed spans overwritten in the ring before any export read them",
+		func() uint64 { return s.spans.Dropped() })
+	s.reg.CounterFunc("rmccd_flight_records_total",
+		"records captured by the flight recorder over its lifetime",
+		func() uint64 { return s.cfg.Flight.Records() })
+	s.reg.CounterFunc("rmccd_flight_dropped_total",
+		"flight-recorder records evicted to make room for newer ones",
+		func() uint64 { return s.cfg.Flight.Dropped() })
 	s.reg.CounterFunc("rmccd_log_lines_total", "structured log lines emitted",
 		func() uint64 { return s.log.Lines() })
 }
@@ -327,6 +348,12 @@ func (s *Server) initRoutes() {
 	// loopback debug listener) so a router can health-check nodes over the
 	// same address it proxies to.
 	s.mux.HandleFunc("GET /statusz", s.instrument("statusz", s.handleStatusz))
+	// Trace lookup and the flight recorder are likewise router-reachable:
+	// the router fans /debug/tracez?trace= out to every node over its
+	// proxy address, and operators can pull a postmortem dump from a
+	// wedged node without a loopback debug listener.
+	s.mux.HandleFunc("GET /debug/tracez", s.instrument("tracez", s.handleTracez))
+	s.mux.HandleFunc("GET /debug/flightz", s.instrument("flightz", s.handleFlightz))
 }
 
 // Handler returns the routed handler.
@@ -547,6 +574,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// later line needs (per-session/request fields are bound once here).
 	sess.lg = s.log.With("session", id, "shard", sess.shard,
 		"workload", res.name, "seed", res.seed)
+	// A sampled create binds its trace ID into every later log line the
+	// session emits, so one grep connects logs to the distributed trace.
+	if tc := traceCtx(r.Context()); tc.Valid() && tc.Sampled {
+		sess.lg = sess.lg.With("trace", tc.TraceID())
+	}
 	sess.touch(now)
 
 	s.mu.Lock()

@@ -1,0 +1,260 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rmcc/internal/obs"
+	"rmcc/internal/server"
+	"rmcc/internal/server/client"
+)
+
+// TestTraceHeaderRejection: malformed and oversized X-Rmcc-Trace headers
+// are client errors — 400 with a JSON error body, never a 5xx, and never
+// any session work.
+func TestTraceHeaderRejection(t *testing.T) {
+	srv := server.New(server.Config{})
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+
+	valid := obs.MintTraceContext().String()
+	cases := []struct {
+		name   string
+		header string
+	}{
+		{"garbage", "not-a-trace-context"},
+		{"uppercase hex", strings.ToUpper(valid)},
+		{"bad version", "01" + valid[2:]},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"truncated", valid[:54]},
+		{"oversized", valid + strings.Repeat("0", 4096)},
+	}
+	for _, tcase := range cases {
+		t.Run(tcase.name, func(t *testing.T) {
+			req, err := http.NewRequest(http.MethodGet, hs.URL+"/v1/sessions", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set(obs.TraceHeader, tcase.header)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+			var body struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body not JSON: %v", err)
+			}
+			if !strings.Contains(body.Error, obs.TraceHeader) {
+				t.Errorf("error %q does not name the header", body.Error)
+			}
+		})
+	}
+
+	// The well-formed context sails through.
+	req, _ := http.NewRequest(http.MethodGet, hs.URL+"/v1/sessions", nil)
+	req.Header.Set(obs.TraceHeader, valid)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid header rejected: %d", resp.StatusCode)
+	}
+}
+
+// TestTracePropagationTracez: a client-minted trace context joins the
+// request spans AND the replay stage spans into one trace, retrievable as
+// a deterministic tree from /debug/tracez?trace=<id> with node stamps.
+func TestTracePropagationTracez(t *testing.T) {
+	var sb strings.Builder
+	lg := obs.NewLogger(&sb, obs.LogInfo, obs.LogJSON)
+	_, c := newTestServer(t, server.Config{
+		NodeID: "node-a", ChunkAccesses: 1000, Logger: lg,
+	})
+	ctx := context.Background()
+
+	tc := obs.MintTraceContext()
+	traced := c.WithTraceContext(tc)
+	info, err := traced.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := traced.ReplayWorkload(ctx, info.ID, 3000, 0, nil); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	// Untraced traffic must stay out of the tree.
+	if _, err := c.ListSessions(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.Tracez(ctx, tc.TraceID(), 0)
+	if err != nil {
+		t.Fatalf("tracez: %v", err)
+	}
+	if resp.Node != "node-a" || resp.Trace != tc.TraceID() {
+		t.Fatalf("tracez header wrong: %+v", resp)
+	}
+	if len(resp.Spans) == 0 {
+		t.Fatal("tracez returned no spans for the trace")
+	}
+	names := map[string]int{}
+	for i, sp := range resp.Spans {
+		names[sp.Name]++
+		if sp.Trace != tc.TraceID() {
+			t.Errorf("span %s carries trace %q, want %q", sp.Name, sp.Trace, tc.TraceID())
+		}
+		if sp.Node != "node-a" {
+			t.Errorf("span %s node = %q, want node-a", sp.Name, sp.Node)
+		}
+		// Satellite: deterministic ordering by (start, span ID).
+		if i > 0 {
+			prev := resp.Spans[i-1]
+			if sp.StartNS < prev.StartNS ||
+				(sp.StartNS == prev.StartNS && sp.ID < prev.ID) {
+				t.Errorf("spans not sorted by (start, id) at index %d", i)
+			}
+		}
+		// Ingress spans carry the upstream span ID as Remote, with no
+		// local parent; everything else parents inside the process.
+		if strings.HasPrefix(sp.Name, "http.") {
+			if sp.Remote != tc.SpanID || sp.Parent != 0 {
+				t.Errorf("ingress span %s remote=%d parent=%d, want remote=%d parent=0",
+					sp.Name, sp.Remote, sp.Parent, tc.SpanID)
+			}
+		} else if sp.Parent == 0 {
+			t.Errorf("in-process span %s has no parent", sp.Name)
+		}
+	}
+	// 3000 accesses at chunk 1000 → exactly 3 of each stage span.
+	if names["http.create"] != 1 || names["http.replay"] != 1 {
+		t.Errorf("request spans wrong: %v", names)
+	}
+	for _, stage := range []string{"queue-wait", "engine-step", "replay"} {
+		want := 3
+		if stage == "replay" {
+			want = 1
+		}
+		if names[stage] != want {
+			t.Errorf("%s spans = %d, want %d (all %v)", stage, names[stage], want, names)
+		}
+	}
+	if names["http.list"] != 0 {
+		t.Error("untraced list request leaked into the trace")
+	}
+
+	// The sampled trace ID is bound onto the session's log lines.
+	if !strings.Contains(sb.String(), `"trace":"`+tc.TraceID()+`"`) {
+		t.Error("session log lines missing the bound trace ID")
+	}
+
+	// Lookup input validation: a non-hex trace ID is a 400.
+	if _, err := c.Tracez(ctx, strings.Repeat("z", 32), 0); !isAPIStatus(err, http.StatusBadRequest) {
+		t.Errorf("bad trace id lookup: %v, want 400", err)
+	}
+}
+
+// TestUnsampledTraceSkipsRing: an unsampled context still parses and
+// propagates in logs-only form but must not occupy span-ring slots.
+func TestUnsampledTraceSkipsRing(t *testing.T) {
+	srv, c := newTestServer(t, server.Config{ChunkAccesses: 1000})
+	ctx := context.Background()
+	tc := obs.MintTraceContext()
+	tc.Sampled = false
+	traced := c.WithTraceContext(tc)
+	info, err := traced.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := traced.ReplayWorkload(ctx, info.ID, 2000, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range srv.Spans().SpansForTrace(tc.TraceHi, tc.TraceLo) {
+		t.Errorf("unsampled trace recorded span %q", sp.Name)
+	}
+}
+
+// TestFlightzEndpoint: the flight recorder's summary and binary dump are
+// served over the service mux, and the dump round-trips through the
+// decoder with the trace's spans inside.
+func TestFlightzEndpoint(t *testing.T) {
+	fr := obs.NewFlightRecorder(1<<20, "node-a")
+	_, c := newTestServer(t, server.Config{
+		NodeID: "node-a", ChunkAccesses: 1000, Flight: fr,
+	})
+	ctx := context.Background()
+
+	tc := obs.MintTraceContext()
+	traced := c.WithTraceContext(tc)
+	info, err := traced.CreateSession(ctx, testSession())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := traced.ReplayWorkload(ctx, info.ID, 2000, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	fz, err := c.Flightz(ctx)
+	if err != nil {
+		t.Fatalf("flightz: %v", err)
+	}
+	if !fz.Enabled || fz.Node != "node-a" || fz.Records == 0 || fz.Bytes == 0 {
+		t.Fatalf("flightz summary wrong: %+v", fz)
+	}
+	if fz.CapBytes != 1<<20 {
+		t.Fatalf("flightz cap = %d, want %d", fz.CapBytes, 1<<20)
+	}
+
+	dump, err := c.FlightDump(ctx)
+	if err != nil {
+		t.Fatalf("flight dump: %v", err)
+	}
+	if dump.Node != "node-a" || dump.Records != fr.Records() {
+		t.Fatalf("dump header wrong: node=%q records=%d", dump.Node, dump.Records)
+	}
+	// The distributed trace survives into the postmortem format.
+	got := map[string]bool{}
+	for _, sp := range dump.Spans {
+		if sp.TraceID() == tc.TraceID() {
+			got[sp.Name] = true
+		}
+	}
+	for _, want := range []string{"http.create", "http.replay", "replay", "engine-step"} {
+		if !got[want] {
+			t.Errorf("flight dump missing traced span %q (got %v)", want, got)
+		}
+	}
+}
+
+// TestFlightzWithoutRecorder: dump requests 404 cleanly on daemons run
+// without a recorder; the summary reports it disabled.
+func TestFlightzWithoutRecorder(t *testing.T) {
+	_, c := newTestServer(t, server.Config{})
+	ctx := context.Background()
+	fz, err := c.Flightz(ctx)
+	if err != nil || fz.Enabled {
+		t.Fatalf("flightz on bare daemon: %+v, %v", fz, err)
+	}
+	if _, err := c.FlightDump(ctx); !isAPIStatus(err, http.StatusNotFound) {
+		t.Fatalf("dump on bare daemon: %v, want 404", err)
+	}
+}
+
+func isAPIStatus(err error, code int) bool {
+	var ae *client.APIError
+	return errors.As(err, &ae) && ae.Status == code
+}

@@ -171,8 +171,8 @@ func TestAnalyzerNoneSymbol(t *testing.T) {
 // catch-all, not out of bounds.
 func TestAnalyzerCatchAllBand(t *testing.T) {
 	an := NewAnalyzer(AnalyzerConfig{})
-	an.OnEvent(memoInsert(0, 100_000, 0))  // enormous offset
-	an.OnEvent(memoInsert(0, 500, 1000))   // start below max (offset 0 guard)
+	an.OnEvent(memoInsert(0, 100_000, 0)) // enormous offset
+	an.OnEvent(memoInsert(0, 500, 1000))  // start below max (offset 0 guard)
 	an.CloseEpoch(0)
 	if an.cur.inserts != 0 {
 		t.Error("CloseEpoch did not reset accumulators")

@@ -47,7 +47,8 @@ echo "cluster-smoke: booting 3 rmccd nodes" >&2
 nodes=()
 for i in 1 2 3; do
     "$workdir/rmccd" -addr 127.0.0.1:0 -port-file "$workdir/node$i.addr" \
-        -drain 10s -log-level info -log-format json \
+        -drain 10s -node-id "node$i" -span-ring 65536 \
+        -log-level info -log-format json \
         2> "$workdir/node$i.log" &
     pids+=("$!")
 done
@@ -60,7 +61,7 @@ echo "cluster-smoke: nodes up: ${nodes[*]}" >&2
 
 "$workdir/rmcc-router" -addr 127.0.0.1:0 -port-file "$workdir/router.addr" \
     -nodes "$(IFS=,; echo "${nodes[*]}")" -health-every 500ms \
-    -log-level info -log-format json \
+    -span-ring 65536 -log-level info -log-format json \
     2> "$workdir/router.log" &
 router_pid=$!
 pids+=("$router_pid")
@@ -75,6 +76,7 @@ echo "cluster-smoke: router up on $router" >&2
 echo "cluster-smoke: $sessions concurrent sessions x $replays trace replays (binary wire, -check, -keep) through the router" >&2
 "$workdir/rmcc-loadgen" -addr "$router" -sessions "$sessions" \
     -trace-file "$workdir/canneal.rmtr" -wire binary -replays "$replays" \
+    -trace-ids-out "$workdir/traces.txt" \
     -check -keep -timeout 15m > "$workdir/loadgen.out" 2> "$workdir/loadgen.err" &
 loadgen_pid=$!
 
@@ -136,6 +138,59 @@ if [ "$annotated" -ne 0 ]; then
     echo "cluster-smoke: $annotated sessions still annotated with the drained node" >&2
     exit 1
 fi
+
+echo "cluster-smoke: one distributed trace must connect router, source node, and destination node across the drain" >&2
+# Loadgen minted one X-Rmcc-Trace context per session, so a session that
+# replayed on its source node, migrated, and replayed again on its
+# destination has all three processes in one trace. Scan migrated
+# sessions for one whose cluster-wide tracez tree shows >= 3 node stamps.
+found_trace=""
+while read -r msid; do
+    mtrace=$(awk -v id="$msid" '$1 == id {print $2}' "$workdir/traces.txt")
+    [ -n "$mtrace" ] || continue
+    curl -fsS "http://$router/debug/tracez?trace=$mtrace" > "$workdir/tracez.json" || continue
+    tnodes=$(grep -o '"node": "[^"]*"' "$workdir/tracez.json" | sort -u | grep -c . || true)
+    if [ "$tnodes" -ge 3 ]; then
+        found_trace="$mtrace"
+        break
+    fi
+done < <(grep '"msg":"session migrated"' "$workdir/router.log" \
+    | sed -n 's/.*"session":"\([^"]*\)".*/\1/p' | head -100)
+if [ -z "$found_trace" ]; then
+    echo "cluster-smoke: no migrated session's trace spans router + source + destination" >&2
+    exit 1
+fi
+grep -q '"node": "router"' "$workdir/tracez.json" \
+    || { echo "cluster-smoke: trace $found_trace has no router spans" >&2; exit 1; }
+grep -q '"name": "engine-step"' "$workdir/tracez.json" \
+    || { echo "cluster-smoke: trace $found_trace missing engine-step stage spans" >&2; exit 1; }
+grep -q '"name": "router.replay"' "$workdir/tracez.json" \
+    || { echo "cluster-smoke: trace $found_trace missing router.replay spans" >&2; exit 1; }
+echo "cluster-smoke: trace $found_trace spans 3 processes" >&2
+
+# The drain request itself is traced too: the router's migration arc
+# (snapshot download -> restore) must be one connected trace.
+drain_trace=$(grep '"msg":"session migrated"' "$workdir/router.log" | head -1 \
+    | sed -n 's/.*"trace":"\([^"]*\)".*/\1/p')
+if [ -n "$drain_trace" ]; then
+    curl -fsS "http://$router/debug/tracez?trace=$drain_trace" > "$workdir/drain_tracez.json"
+    for span in drain migrate snapshot-download restore; do
+        grep -q "\"name\": \"$span\"" "$workdir/drain_tracez.json" \
+            || { echo "cluster-smoke: drain trace missing $span span" >&2; exit 1; }
+    done
+    grep -q '"name": "http.restore"' "$workdir/drain_tracez.json" \
+        || { echo "cluster-smoke: drain trace missing the destination node's http.restore span" >&2; exit 1; }
+else
+    echo "cluster-smoke: router log has no drain trace ID" >&2
+    exit 1
+fi
+
+echo "cluster-smoke: rmcc-top -trace must render the cross-node tree" >&2
+"$workdir/rmcc-top" -addr "$router" -trace "$found_trace" > "$workdir/trace_tree.txt"
+grep -q '\[router\]' "$workdir/trace_tree.txt" \
+    || { echo "cluster-smoke: rmcc-top trace view missing router rows" >&2; cat "$workdir/trace_tree.txt" >&2; exit 1; }
+grep -q 'engine-step' "$workdir/trace_tree.txt" \
+    || { echo "cluster-smoke: rmcc-top trace view missing stage spans" >&2; cat "$workdir/trace_tree.txt" >&2; exit 1; }
 
 echo "cluster-smoke: router metrics must count the migrations" >&2
 curl -fsS "http://$router/metrics" > "$workdir/router_metrics.txt"

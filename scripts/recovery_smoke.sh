@@ -33,15 +33,17 @@ crash_after=$((sessions * accesses / 8))
 workdir="$(mktemp -d)"
 trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
-echo "recovery-smoke: building rmccd and rmcc-loadgen" >&2
+echo "recovery-smoke: building rmccd, rmcc-loadgen, rmcc-top" >&2
 go build -o "$workdir/rmccd" ./cmd/rmccd
 go build -o "$workdir/rmcc-loadgen" ./cmd/rmcc-loadgen
+go build -o "$workdir/rmcc-top" ./cmd/rmcc-top
 
 snapdir="$workdir/snapshots"
 
 start_daemon() {
     "$workdir/rmccd" -addr 127.0.0.1:0 -port-file "$workdir/addr" -drain 10s \
         -snapshot-dir "$snapdir" -snapshot-every 150ms \
+        -flight-every 100ms \
         -log-level info -log-format json \
         2>> "$1" &
     daemon_pid=$!
@@ -57,6 +59,7 @@ echo "recovery-smoke: rmccd (pid $daemon_pid) on $addr, snapshots in $snapdir" >
 echo "recovery-smoke: $sessions sessions x $accesses accesses, SIGKILL after $crash_after aggregate" >&2
 "$workdir/rmcc-loadgen" -addr "$addr" -sessions "$sessions" \
     -workload canneal -size test -accesses "$accesses" -keep \
+    -trace-ids-out "$workdir/traces.txt" \
     -crash-after "$crash_after" -crash-pid "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
 
@@ -67,6 +70,33 @@ if [ "$snaps" -lt 1 ]; then
     cat "$workdir/rmccd1.log" >&2
     exit 1
 fi
+
+# The SIGKILL'd daemon must leave a readable flight-recorder postmortem
+# (the periodic flusher writes it durably alongside the checkpoints), and
+# the dump must contain spans of the distributed traces the load
+# generator minted.
+flightrec="$snapdir/flight.rec"
+if [ ! -s "$flightrec" ]; then
+    echo "recovery-smoke: no flight dump at $flightrec after SIGKILL" >&2
+    exit 1
+fi
+"$workdir/rmcc-top" -flight "$flightrec" > "$workdir/flight.txt" \
+    || { echo "recovery-smoke: flight dump unreadable" >&2; exit 1; }
+grep -q '^flight dump — node ' "$workdir/flight.txt" \
+    || { echo "recovery-smoke: flight render missing header" >&2; head "$workdir/flight.txt" >&2; exit 1; }
+traced=0
+while read -r _ trace; do
+    if grep -q "trace=$trace" "$workdir/flight.txt"; then
+        traced=1
+        break
+    fi
+done < "$workdir/traces.txt"
+if [ "$traced" -ne 1 ]; then
+    echo "recovery-smoke: flight dump contains no span of any loadgen trace" >&2
+    head -20 "$workdir/flight.txt" >&2
+    exit 1
+fi
+echo "recovery-smoke: flight dump readable, loadgen traces present" >&2
 
 # Sabotage: truncate one checkpoint's state (its meta section survives, so
 # recovery must fall back to a fresh session under the same ID) and plant
